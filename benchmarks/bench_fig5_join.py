@@ -1,0 +1,33 @@
+"""Figure 5(c,g,k): impact of the number of joins (#-join ∈ [0, 5]).
+
+More joins mean more fetching steps for the bounded plans (slower, more data)
+while the conventional baseline degrades much faster — in the paper it fails
+to finish with ≥2 joins.  The series reports evalQP time, evalDBMS time and
+P(D_Q) per #-join value.
+"""
+
+from repro.bench.experiments import join_experiment
+
+
+def test_fig5_join_sweep(benchmark, workload, bench_scale):
+    table = benchmark.pedantic(
+        join_experiment,
+        kwargs={
+            "workload": workload,
+            "values": (0, 1, 2, 3, 4, 5),
+            "seed": 17,
+            "scale": bench_scale // 2,
+            "queries_per_value": 3,
+            "include_baseline": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    populated = [row for row in table.rows if row["queries"]]
+    assert populated, "no covered queries generated in the #-join sweep"
+    # bounded plans keep accessing a small fraction of the data at every join count
+    for row in populated:
+        assert row["P_DQ"] < 0.6

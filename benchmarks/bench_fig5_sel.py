@@ -1,0 +1,32 @@
+"""Figure 5(b,f,j): impact of the number of selection atoms (#-sel ∈ [4, 9]).
+
+For each #-sel value, covered queries are generated with that many equality
+atoms and answered with bounded plans; evalQP time and P(D_Q) are reported.
+The paper observes that more selections make bounded plans cheaper (more
+constants seed the chase); the conventional baseline is largely insensitive.
+"""
+
+from repro.bench.experiments import selection_experiment
+
+
+def test_fig5_selection_sweep(benchmark, workload, bench_scale):
+    table = benchmark.pedantic(
+        selection_experiment,
+        kwargs={
+            "workload": workload,
+            "values": (4, 5, 6, 7, 8, 9),
+            "seed": 13,
+            "scale": bench_scale // 2,
+            "queries_per_value": 3,
+            "include_baseline": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    populated = [row for row in table.rows if row["queries"]]
+    assert populated, "no covered queries generated in the #-sel sweep"
+    for row in populated:
+        assert row["P_DQ"] < 0.6

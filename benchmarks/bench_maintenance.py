@@ -1,0 +1,46 @@
+"""Proposition 12: bounded incremental maintenance of ⟨A, I_A⟩.
+
+Benchmarks applying a fixed-size batch of updates ΔD to instances of growing
+size: the wall-clock and the work (index entries touched) must not grow with
+|D|.  This experiment has no direct figure in the paper but backs the claim
+used by component C1 of the framework.
+"""
+
+from repro.bench.experiments import maintenance_experiment
+from repro.discovery.maintenance import Update, apply_updates
+from repro.storage.index import IndexSet
+
+
+def test_apply_update_batch(benchmark, prepared):
+    """Time to apply a 50-tuple ΔD against the prepared (largest) instance."""
+    workload = prepared["workload"]
+    database = prepared["database"]
+    relation_name = max(database.relation_names(), key=lambda n: len(database.relation(n)))
+    donor = workload.database(scale=60, seed=123)
+    rows = list(donor.relation(relation_name))[:50]
+
+    def run():
+        # fresh copies per round so inserts are not no-ops
+        target = database.scaled(1.0, seed=0)
+        indexes = IndexSet.build(target, workload.access_schema, check=False)
+        updates = [Update.insert(relation_name, row) for row in rows]
+        return apply_updates(target, indexes, workload.access_schema, updates)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.applied + report.skipped == len(rows)
+
+
+def test_maintenance_flat_in_database_size(benchmark, workload):
+    table = benchmark.pedantic(
+        maintenance_experiment,
+        kwargs={"workload": workload, "scales": (50, 100, 200, 400), "delta_size": 50, "seed": 41},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    work = table.column("work_units")
+    tuples = table.column("db_tuples")
+    assert tuples[-1] > tuples[0]
+    # identical ΔD and A => identical maintenance work, whatever |D| is
+    assert len(set(work)) == 1

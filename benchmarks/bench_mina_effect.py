@@ -1,0 +1,41 @@
+"""Exp-1(III): effectiveness of minA, plus an ablation of its greedy weight.
+
+Compares three strategies on the same covered queries:
+
+* ``evalQP-`` — plans generated against the full access schema,
+* ``evalQP``  — plans generated against the minA-minimized subset,
+* an ablation that runs the same greedy loop with the weight's ``c1`` set to
+  0 (i.e. ignoring the constraint bounds when choosing what to drop).
+
+Reported per strategy: average number of constraints kept, their Σ N cost,
+the fraction of data accessed, and the index footprint the strategy needs.
+"""
+
+from repro.bench.experiments import mina_effect_experiment
+
+
+def test_mina_effectiveness(benchmark, workload, bench_scale):
+    table = benchmark.pedantic(
+        mina_effect_experiment,
+        kwargs={
+            "workload": workload,
+            "seed": 29,
+            "scale": bench_scale // 2,
+            "n_queries": 4,
+            "include_random_baseline": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    rows = {row["strategy"]: row for row in table.rows}
+    full = rows["evalQP- (full A)"]
+    minimized = rows["evalQP (minA)"]
+    # minA keeps fewer constraints, with lower estimated cost, and needs a
+    # smaller index footprint than running against the full schema.
+    assert minimized["avg_constraints"] <= full["avg_constraints"]
+    assert minimized["avg_cost"] <= full["avg_cost"]
+    assert minimized["index_tuples"] <= full["index_tuples"]
+    assert minimized["P_DQ"] <= full["P_DQ"] * 1.05

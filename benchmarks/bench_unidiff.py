@@ -1,0 +1,33 @@
+"""The #-unidiff observation of Section 8 Exp-1(2).
+
+Bounded plans fetch data per max SPC sub-query, so their cost is essentially
+insensitive to the number of union/difference operators combining those
+sub-queries.  The series reports evalQP time and P(D_Q) for #-unidiff 0..5
+(the paper omits the baseline here because it never finished).
+"""
+
+from repro.bench.experiments import unidiff_experiment
+
+
+def test_unidiff_insensitivity(benchmark, workload, bench_scale):
+    table = benchmark.pedantic(
+        unidiff_experiment,
+        kwargs={
+            "workload": workload,
+            "values": (0, 1, 2, 3, 4, 5),
+            "seed": 19,
+            "scale": bench_scale // 2,
+            "queries_per_value": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+
+    populated = [row for row in table.rows if row["queries"]]
+    assert populated
+    times = [row["evalQP_s"] for row in populated]
+    # evalQP stays within a small constant factor across #-unidiff values
+    # (per-sub-query fetching; no blow-up with the number of set operators).
+    assert max(times) <= max(10 * min(times), min(times) + 0.25)

@@ -1,0 +1,97 @@
+"""Quickstart: bounded evaluation in ~60 lines.
+
+Builds a small database, declares access constraints, checks whether a query
+is *covered* (the effective syntax for boundedly evaluable queries), generates
+a canonical bounded plan, and executes it — comparing the amount of data
+accessed against conventional evaluation.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AccessConstraint,
+    AccessSchema,
+    Database,
+    DatabaseSchema,
+    IndexSet,
+    Relation,
+    check_coverage,
+    eq,
+    generate_plan,
+)
+from repro.evaluator.baseline import evaluate_conventional
+from repro.evaluator.executor import execute_plan
+
+
+def main() -> None:
+    # 1. A schema: orders placed by customers in cities.
+    schema = DatabaseSchema.from_dict(
+        {
+            "customers": ["cust_id", "city", "segment"],
+            "orders": ["order_id", "cust_id", "order_date", "amount"],
+        }
+    )
+
+    # 2. Access constraints: each customer id is unique, and a customer places
+    #    at most 50 orders on any single day (with an index for each).
+    access = AccessSchema(
+        [
+            AccessConstraint.of("customers", "cust_id", ["city", "segment"], 1),
+            AccessConstraint.of("orders", ["cust_id", "order_date"], "order_id", 50),
+            AccessConstraint.of("orders", "order_id", ["cust_id", "order_date", "amount"], 1),
+        ],
+        schema=schema,
+    )
+
+    # 3. Some data (in reality this is the part that grows without bound).
+    database = Database(schema)
+    for i in range(2000):
+        database.insert("customers", (f"cust{i}", ["nyc", "sf", "austin"][i % 3], i % 5))
+    for i in range(8000):
+        database.insert(
+            "orders", (f"ord{i}", f"cust{i % 2000}", f"2015-06-{(i % 28) + 1:02d}", i % 500)
+        )
+
+    # 4. A query: order ids and amounts of customer cust42 on 2015-06-15.
+    customers = Relation.from_schema(schema, "customers")
+    orders = Relation.from_schema(schema, "orders")
+    query = (
+        customers.join(orders, eq(customers["cust_id"], orders["cust_id"]))
+        .select(eq(customers["cust_id"], "cust42"))
+        .select(eq(orders["order_date"], "2015-06-15"))
+        .project([orders["order_id"], orders["amount"], customers["city"]])
+    )
+
+    # 5. CovChk: is the query covered (hence boundedly evaluable)?
+    coverage = check_coverage(query, access)
+    print("covered:", coverage.is_covered)
+    print(coverage.explain())
+
+    # 6. QPlan: generate the canonical bounded plan and look at its guarantees.
+    plan = generate_plan(coverage)
+    print(f"\nbounded plan: {plan.length} steps, "
+          f"accesses at most {plan.access_bound()} tuples on ANY database")
+
+    # 7. Execute it through the constraint indexes and compare with a full run.
+    indexes = IndexSet.build(database, access)
+    bounded = execute_plan(plan, database, indexes)
+    baseline = evaluate_conventional(query, database, access)
+
+    assert bounded.rows == baseline.rows
+    print("\nanswer:", sorted(bounded.rows))
+    print(f"database size:                   {database.size:>6} tuples")
+    print(f"tuples accessed (bounded plan):  {bounded.counter.total:>6}  "
+          f"(P(D_Q) = {bounded.access_ratio(database.size):.5f})")
+    print(f"tuples accessed (conventional):  {baseline.counter.total:>6}  "
+          f"(P(D_Q) = {baseline.access_ratio(database.size):.5f})")
+    print(
+        "\nThe bounded plan's access is capped by the constraints alone — "
+        f"at most {plan.access_bound()} tuples on any database satisfying A.  "
+        "For this very selective query the conventional strategy also does well; "
+        "the orders-of-magnitude gap appears on join-heavy queries over non-key "
+        "attributes (see examples/graph_search.py and the benchmarks)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Bounded evaluability of relational queries under access constraints.
+
+A reproduction of "An Effective Syntax for Bounded Relational Queries"
+(Cao & Fan, SIGMOD 2016): covered queries, the CovChk coverage checker,
+QPlan canonical bounded plan generation, access minimization, and an
+end-to-end bounded evaluation engine on an in-memory relational substrate.
+"""
+
+from .core import (
+    AccessConstraint,
+    AccessSchema,
+    Attribute,
+    BoundedEngine,
+    BoundedPlan,
+    CoverageResult,
+    DatabaseSchema,
+    NotCoveredError,
+    Relation,
+    RelationSchema,
+    ReproError,
+    check_coverage,
+    eq,
+    generate_plan,
+    is_covered,
+    plan_query,
+)
+from .storage import AccessCounter, Database, IndexSet, RelationInstance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "AccessCounter",
+    "Attribute",
+    "BoundedEngine",
+    "BoundedPlan",
+    "CoverageResult",
+    "Database",
+    "DatabaseSchema",
+    "IndexSet",
+    "NotCoveredError",
+    "Relation",
+    "RelationInstance",
+    "RelationSchema",
+    "ReproError",
+    "check_coverage",
+    "eq",
+    "generate_plan",
+    "is_covered",
+    "plan_query",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Execution backends that run bounded evaluation on top of an actual DBMS."""
+
+from .sqlite import SQLiteBackend
+
+__all__ = ["SQLiteBackend"]

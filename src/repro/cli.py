@@ -1,0 +1,232 @@
+"""Command-line interface for the bounded-evaluation library.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli check    --workload AIRCA --sql "SELECT ..."
+    python -m repro.cli plan     --workload TFACC --sql "SELECT ..." [--no-minimize]
+    python -m repro.cli run      --workload MCBM  --sql "SELECT ..." [--scale 300]
+    python -m repro.cli discover --workload AIRCA --output constraints.json
+    python -m repro.cli report   --workload TFACC --quick
+
+Instead of a built-in workload, ``--schema schema.json --data DIR
+[--constraints constraints.json]`` loads a database from CSV files (one per
+relation, as written by :meth:`repro.storage.database.Database.to_directory`)
+with a JSON schema and constraint list (see :mod:`repro.core.serialize`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.coverage import check_coverage
+from .core.engine import BoundedEngine
+from .core.errors import ReproError
+from .core.minimize import minimize_auto
+from .core.plan2sql import plan_to_sql
+from .core.planner import generate_plan
+from .core.serialize import (
+    access_schema_to_list,
+    dump_access_schema,
+    load_access_schema,
+    load_schema,
+)
+from .discovery import DiscoveryConfig, discover_access_schema
+from .sqlparser import parse_sql
+from .storage.database import Database
+from .workloads import WORKLOADS
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=sorted(WORKLOADS) + ["facebook"],
+                        help="use a built-in workload (schema, constraints, generator)")
+    parser.add_argument("--scale", type=int, default=200,
+                        help="generator scale for built-in workloads (default 200)")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--schema", type=Path, help="JSON database schema (with --data)")
+    parser.add_argument("--data", type=Path, help="directory of CSV files, one per relation")
+    parser.add_argument("--constraints", type=Path,
+                        help="JSON access-constraint list (defaults to discovery on --data)")
+
+
+def _load_source(args) -> tuple[Database, "AccessSchema"]:
+    """Resolve --workload / --schema+--data into a database and access schema."""
+    from .core.access import AccessSchema
+    from .workloads import facebook
+
+    if args.workload:
+        if args.workload == "facebook":
+            spec_schema = facebook.schema()
+            access = facebook.access_schema(spec_schema)
+            database = facebook.generate(scale=args.scale, seed=args.seed)
+        else:
+            spec = WORKLOADS[args.workload]
+            access = spec.access_schema
+            database = spec.database(scale=args.scale, seed=args.seed)
+        return database, access
+
+    if not args.schema or not args.data:
+        raise SystemExit("either --workload or both --schema and --data are required")
+    schema = load_schema(args.schema)
+    database = Database.from_directory(schema, args.data)
+    if args.constraints:
+        access = load_access_schema(args.constraints, schema=schema)
+    else:
+        access = discover_access_schema(database)
+    return database, access
+
+
+def _parse_query(args, database):
+    sql = args.sql
+    if sql == "-":
+        sql = sys.stdin.read()
+    return parse_sql(sql, database.schema)
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+def command_check(args) -> int:
+    database, access = _load_source(args)
+    query = _parse_query(args, database)
+    result = check_coverage(query, access)
+    print(result.explain())
+    if result.is_covered:
+        plan = generate_plan(result)
+        print(f"bounded plan: {plan.length} steps, access bound {plan.access_bound()} tuples")
+    return 0 if result.is_covered else 1
+
+
+def command_plan(args) -> int:
+    database, access = _load_source(args)
+    query = _parse_query(args, database)
+    coverage = check_coverage(query, access)
+    if not coverage.is_covered:
+        print(coverage.explain(), file=sys.stderr)
+        return 1
+    if not args.no_minimize:
+        minimized = minimize_auto(query, access)
+        coverage = check_coverage(query, minimized.selected)
+        print(f"-- minimized access schema ({minimized.method}): "
+              f"{len(minimized.selected)} constraints, Σ N = {minimized.cost}")
+    plan = generate_plan(coverage)
+    if args.sql_output:
+        print(plan_to_sql(plan).sql)
+    else:
+        print(plan)
+        print(f"-- access bound: {plan.access_bound()} tuples")
+    return 0
+
+
+def command_run(args) -> int:
+    database, access = _load_source(args)
+    query = _parse_query(args, database)
+    engine = BoundedEngine(database, access, check_constraints=False)
+    result = engine.execute(query, minimize=not args.no_minimize)
+    for row in sorted(result.rows, key=repr):
+        print("\t".join(str(value) for value in row))
+    print(
+        f"-- {len(result.rows)} rows | strategy: {result.strategy} | rewrite: {result.rewrite} | "
+        f"accessed {result.counter.total} of {database.size} tuples "
+        f"(P(D_Q) = {result.access_ratio(database.size):.6f}) in {result.elapsed * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def command_discover(args) -> int:
+    database, _ = _load_source(args)
+    config = DiscoveryConfig(
+        max_lhs_size=args.max_lhs, max_bound=args.max_bound, domain_threshold=args.domain
+    )
+    access = discover_access_schema(database, config)
+    payload = access_schema_to_list(access)
+    if args.output:
+        dump_access_schema(access, args.output)
+        print(f"wrote {len(payload)} constraints to {args.output}")
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def command_report(args) -> int:
+    from .bench import (
+        coverage_experiment,
+        efficiency_experiment,
+        index_size_experiment,
+        scale_experiment,
+    )
+
+    if not args.workload or args.workload == "facebook":
+        raise SystemExit("report requires --workload AIRCA|TFACC|MCBM")
+    workload = WORKLOADS[args.workload]
+    n_queries = 30 if args.quick else 100
+    factors = (0.25, 1.0) if args.quick else (2**-5, 2**-3, 2**-1, 1.0)
+    print(coverage_experiment(workload, n_queries=n_queries).render())
+    print()
+    print(scale_experiment(workload, base_scale=args.scale, scale_factors=factors,
+                           n_queries=3).render())
+    print()
+    print(index_size_experiment(workload, scale=args.scale).render())
+    print()
+    print(efficiency_experiment(workload, n_queries=15).render())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="run CovChk on a SQL query")
+    _add_source_arguments(check)
+    check.add_argument("--sql", required=True, help="SQL text (or '-' for stdin)")
+    check.set_defaults(handler=command_check)
+
+    plan = subparsers.add_parser("plan", help="generate a bounded plan for a SQL query")
+    _add_source_arguments(plan)
+    plan.add_argument("--sql", required=True)
+    plan.add_argument("--no-minimize", action="store_true", help="skip access minimization")
+    plan.add_argument("--sql-output", action="store_true",
+                      help="print the Plan2SQL translation instead of the plan steps")
+    plan.set_defaults(handler=command_plan)
+
+    run = subparsers.add_parser("run", help="answer a SQL query (bounded when possible)")
+    _add_source_arguments(run)
+    run.add_argument("--sql", required=True)
+    run.add_argument("--no-minimize", action="store_true")
+    run.set_defaults(handler=command_run)
+
+    discover = subparsers.add_parser("discover", help="mine access constraints from data")
+    _add_source_arguments(discover)
+    discover.add_argument("--output", type=Path, help="write constraints JSON here")
+    discover.add_argument("--max-lhs", type=int, default=2)
+    discover.add_argument("--max-bound", type=int, default=1000)
+    discover.add_argument("--domain", type=int, default=64)
+    discover.set_defaults(handler=command_discover)
+
+    report = subparsers.add_parser("report", help="run a condensed experiment report")
+    _add_source_arguments(report)
+    report.add_argument("--quick", action="store_true")
+    report.set_defaults(handler=command_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

@@ -1,0 +1,279 @@
+"""Covered queries and algorithm ``CovChk`` (Sections 3 and 4).
+
+An RA query ``Q`` is *covered* by an access schema ``A`` when every max SPC
+sub-query ``Qs`` of ``Q`` is
+
+* **fetchable** via ``A`` — every attribute in ``X_Qs`` can be deduced from
+  the constant attributes ``X_Qs^C`` by chasing with the constraints of
+  ``A``; by Lemma 4 this is equivalent to the FD implication
+  ``Σ_{Qs,A} |= X̂_Qs^C → X̂_Qs`` over induced FDs; and
+* **indexed** by ``A`` — every relation occurrence ``S`` in ``Qs`` has an
+  actualized constraint ``S(X → Y, N)`` with ``S[X] ⊆ cov(Qs, A)`` and
+  ``X^S_Qs ⊆ S[X ∪ Y]`` (so the needed attributes of ``S`` come from the
+  same tuples, validated via the index).
+
+The check is purely syntactic (``O(|Q|² + |A|)``), independent of any data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .access import AccessConstraint, AccessSchema
+from .errors import QueryError
+from .normalize import NormalizedQuery, normalize
+from .query import Query, Relation
+from .schema import Attribute
+from .spc import SPCAnalysis, is_normal_form, max_spc_subqueries
+
+
+# ---------------------------------------------------------------------------
+# cov(Q, A)
+# ---------------------------------------------------------------------------
+
+def covered_attribute_tokens(
+    analysis: SPCAnalysis, access_schema: AccessSchema
+) -> frozenset[str]:
+    """``ρ_U(cov(Qs, A))`` — the covered attributes of an SPC sub-query.
+
+    Computed as the FD closure of the unified constant attributes under the
+    induced FDs (the chase of Section 3 coincides with this closure; see the
+    proof of Lemma 4 in the paper).
+    """
+    fds = analysis.induced_fds(access_schema)
+    return frozenset(fds.closure(analysis.unified_constant))
+
+
+def covered_attributes(
+    analysis: SPCAnalysis, access_schema: AccessSchema
+) -> frozenset[Attribute]:
+    """``cov(Qs, A)`` restricted to the attributes actually occurring in ``Qs``."""
+    tokens = covered_attribute_tokens(analysis, access_schema)
+    attributes: set[Attribute] = set()
+    for relation in analysis.relations:
+        for attribute in relation.output_attributes():
+            if analysis.unify(attribute) in tokens:
+                attributes.add(attribute)
+    return frozenset(attributes)
+
+
+# ---------------------------------------------------------------------------
+# Per-sub-query and whole-query results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SubqueryCoverage:
+    """Coverage diagnosis of a single max SPC sub-query."""
+
+    subquery: Query
+    analysis: SPCAnalysis
+    fetchable: bool
+    indexed: bool
+    covered_tokens: frozenset[str]
+    missing_attributes: frozenset[Attribute]
+    unindexed_relations: tuple[str, ...]
+    index_choices: Mapping[str, AccessConstraint] = field(default_factory=dict)
+
+    @property
+    def covered(self) -> bool:
+        return self.fetchable and self.indexed
+
+    def explain(self) -> str:
+        """A human-readable explanation of why the sub-query is (not) covered."""
+        if self.covered:
+            return "covered: fetchable and indexed"
+        reasons = []
+        if not self.fetchable:
+            missing = ", ".join(sorted(map(str, self.missing_attributes))) or "(none)"
+            reasons.append(f"not fetchable: cannot cover attributes {missing}")
+        if not self.indexed:
+            relations = ", ".join(self.unindexed_relations)
+            reasons.append(f"not indexed: no suitable constraint for relations {relations}")
+        return "; ".join(reasons)
+
+
+@dataclass
+class CoverageResult:
+    """The outcome of :func:`check_coverage` for a whole RA query.
+
+    Carries the normalized query and the actualized access schema so that
+    downstream consumers (plan generation, access minimization) can reuse
+    them without repeating the normalization.
+    """
+
+    query: Query
+    normalized: NormalizedQuery
+    access_schema: AccessSchema
+    actualized: AccessSchema
+    subqueries: list[SubqueryCoverage]
+    normal_form: bool
+
+    @property
+    def is_fetchable(self) -> bool:
+        return self.normal_form and all(s.fetchable for s in self.subqueries)
+
+    @property
+    def is_indexed(self) -> bool:
+        return self.normal_form and all(s.indexed for s in self.subqueries)
+
+    @property
+    def is_covered(self) -> bool:
+        return self.normal_form and all(s.covered for s in self.subqueries)
+
+    def explain(self) -> str:
+        """A multi-line report of the coverage decision."""
+        lines = [f"covered: {self.is_covered}"]
+        if not self.normal_form:
+            lines.append(
+                "query is not in normal form (union/difference below an SPC operator); "
+                "treated conservatively as not covered"
+            )
+        for index, sub in enumerate(self.subqueries, start=1):
+            lines.append(f"  max SPC sub-query #{index}: {sub.explain()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CovChk
+# ---------------------------------------------------------------------------
+
+def _check_subquery(
+    subquery: Query, actualized: AccessSchema, analysis: SPCAnalysis | None = None
+) -> SubqueryCoverage:
+    if analysis is None:
+        analysis = SPCAnalysis(subquery)
+    fds = analysis.induced_fds(actualized)
+    covered_tokens = frozenset(fds.closure(analysis.unified_constant))
+
+    # Fetchable: Σ_{Qs,A} |= X̂_Qs^C → X̂_Qs  (Lemma 4).
+    needed_tokens = analysis.unified_needed
+    fetchable = needed_tokens <= covered_tokens
+    missing = frozenset(
+        a for a in analysis.needed_attributes if analysis.unify(a) not in covered_tokens
+    )
+
+    # Indexed: each relation occurrence has a constraint whose LHS is covered
+    # and whose attributes span the relation's needed attributes.
+    unindexed: list[str] = []
+    index_choices: dict[str, AccessConstraint] = {}
+    for relation in analysis.relations:
+        needed_here = analysis.relation_needed_attributes(relation)
+        best: AccessConstraint | None = None
+        for constraint in actualized.for_relation(relation.name):
+            lhs_tokens = analysis.unify_all(
+                Attribute(relation.name, a) for a in constraint.lhs
+            )
+            if not lhs_tokens <= covered_tokens:
+                continue
+            span = {a.name for a in needed_here}
+            if not span <= (constraint.lhs | constraint.rhs):
+                continue
+            if best is None or constraint.bound < best.bound:
+                best = constraint
+        if best is None:
+            unindexed.append(relation.name)
+        else:
+            index_choices[relation.name] = best
+
+    return SubqueryCoverage(
+        subquery=subquery,
+        analysis=analysis,
+        fetchable=fetchable,
+        indexed=not unindexed,
+        covered_tokens=covered_tokens,
+        missing_attributes=missing,
+        unindexed_relations=tuple(unindexed),
+        index_choices=index_choices,
+    )
+
+
+def check_coverage(
+    query: Query,
+    access_schema: AccessSchema,
+    *,
+    pre_normalized: NormalizedQuery | None = None,
+) -> CoverageResult:
+    """Algorithm ``CovChk``: decide whether ``query`` is covered by ``access_schema``.
+
+    The query is first normalized (distinct relation occurrences) and the
+    access schema actualized onto the occurrences (Lemma 1).  Pass
+    ``pre_normalized`` to skip re-normalization when the caller already has
+    a :class:`NormalizedQuery`.
+    """
+    normalized = pre_normalized if pre_normalized is not None else normalize(query)
+    actualized = normalized.actualize(access_schema)
+    normal_form = is_normal_form(normalized.query)
+    subqueries = [
+        _check_subquery(subquery, actualized)
+        for subquery in max_spc_subqueries(normalized.query)
+    ]
+    return CoverageResult(
+        query=query,
+        normalized=normalized,
+        access_schema=access_schema,
+        actualized=actualized,
+        subqueries=subqueries,
+        normal_form=normal_form,
+    )
+
+
+class CoverageChecker:
+    """Repeated coverage checks of one query against many access-schema subsets.
+
+    ``CovChk`` spends most of its time normalizing the query and analysing its
+    max SPC sub-queries; both depend only on the query.  The access-minimization
+    heuristics re-check coverage for many subsets of ``A``, so this helper
+    caches the query-side work and re-does only the schema-side part
+    (actualization, induced FDs, closure) per call.
+    """
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.normalized = normalize(query)
+        self.normal_form = is_normal_form(self.normalized.query)
+        self._subqueries = max_spc_subqueries(self.normalized.query)
+        self._analyses = [SPCAnalysis(sub) for sub in self._subqueries]
+
+    def check(self, access_schema: AccessSchema) -> CoverageResult:
+        """Coverage of the cached query under ``access_schema``."""
+        actualized = self.normalized.actualize(access_schema)
+        subqueries = [
+            _check_subquery(sub, actualized, analysis)
+            for sub, analysis in zip(self._subqueries, self._analyses)
+        ]
+        return CoverageResult(
+            query=self.query,
+            normalized=self.normalized,
+            access_schema=access_schema,
+            actualized=actualized,
+            subqueries=subqueries,
+            normal_form=self.normal_form,
+        )
+
+    def is_covered(self, access_schema: AccessSchema) -> bool:
+        return self.check(access_schema).is_covered
+
+
+def is_covered(query: Query, access_schema: AccessSchema) -> bool:
+    """Convenience wrapper: ``True`` iff ``query`` is covered by ``access_schema``."""
+    return check_coverage(query, access_schema).is_covered
+
+
+def is_fetchable(query: Query, access_schema: AccessSchema) -> bool:
+    """``True`` iff every max SPC sub-query of ``query`` is fetchable via ``access_schema``."""
+    return check_coverage(query, access_schema).is_fetchable
+
+
+def is_indexed(query: Query, access_schema: AccessSchema) -> bool:
+    """``True`` iff every max SPC sub-query of ``query`` is indexed by ``access_schema``."""
+    return check_coverage(query, access_schema).is_indexed
+
+
+def uncovered_attributes(query: Query, access_schema: AccessSchema) -> frozenset[Attribute]:
+    """The needed attributes that no chase with ``access_schema`` can reach."""
+    result = check_coverage(query, access_schema)
+    missing: set[Attribute] = set()
+    for sub in result.subqueries:
+        missing |= sub.missing_attributes
+    return frozenset(missing)

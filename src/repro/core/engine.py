@@ -1,0 +1,205 @@
+"""The end-to-end bounded evaluation framework of Section 7 (Fig. 4).
+
+:class:`BoundedEngine` wires together every component of the paper on top of
+the in-memory substrate:
+
+* **C1** — discover an access schema (optional) and build / maintain its
+  constraint indexes ``I_A``;
+* **C2** — check coverage of incoming queries (``CovChk``);
+* **C3** — pick a minimal covering subset ``A_m`` (``minA`` and friends);
+* **C4** — generate a canonical bounded plan (``QPlan``);
+* **C5** — optionally translate the plan to SQL (``Plan2SQL``);
+* **C6** — execute the plan, accessing only the bounded fraction ``D_Q``;
+  queries that are not covered (and cannot be rewritten into a covered
+  equivalent) fall back to conventional evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..evaluator.baseline import evaluate_conventional
+from ..evaluator.executor import ExecutionResult, PlanExecutor
+from ..storage.counters import AccessCounter
+from ..storage.database import Database
+from ..storage.index import IndexSet
+from .access import AccessSchema
+from .coverage import CoverageResult, check_coverage
+from .errors import NotCoveredError
+from .minimize import MinimizationResult, minimize_auto
+from .plan import BoundedPlan
+from .plan2sql import SQLTranslation, plan_to_sql
+from .planner import generate_plan
+from .query import Query
+from .rewrite import find_covered_rewrite
+
+
+@dataclass
+class EngineResult:
+    """The outcome of :meth:`BoundedEngine.execute`.
+
+    ``strategy`` is ``"bounded"`` when a bounded plan was executed (possibly
+    for a rewritten equivalent of the input query), and ``"conventional"``
+    when the engine fell back to full evaluation.
+    """
+
+    rows: frozenset[tuple]
+    columns: tuple[str, ...]
+    strategy: str
+    elapsed: float
+    counter: AccessCounter
+    plan: BoundedPlan | None = None
+    coverage: CoverageResult | None = None
+    minimization: MinimizationResult | None = None
+    rewrite: str = "identity"
+
+    def access_ratio(self, database_size: int) -> float:
+        """``P(D_Q)`` for this execution."""
+        return self.counter.ratio(database_size)
+
+
+class BoundedEngine:
+    """Bounded evaluation of RA queries over an in-memory database."""
+
+    def __init__(
+        self,
+        database: Database,
+        access_schema: AccessSchema,
+        *,
+        build_indexes: bool = True,
+        check_constraints: bool = True,
+    ):
+        self.database = database
+        self.access_schema = access_schema
+        self.index_build_seconds = 0.0
+        if build_indexes:
+            started = time.perf_counter()
+            self.indexes = IndexSet.build(
+                database, access_schema, check=check_constraints
+            )
+            self.index_build_seconds = time.perf_counter() - started
+        else:
+            self.indexes = IndexSet()
+        self._executor = PlanExecutor(database, self.indexes)
+
+    # -- C2: coverage -----------------------------------------------------------
+    def check(self, query: Query) -> CoverageResult:
+        """Run ``CovChk`` on ``query`` against the engine's access schema."""
+        return check_coverage(query, self.access_schema)
+
+    def is_covered(self, query: Query) -> bool:
+        return self.check(query).is_covered
+
+    # -- C3 + C4: minimization and planning -----------------------------------------
+    def plan(
+        self, query: Query, *, minimize: bool = True
+    ) -> tuple[BoundedPlan, CoverageResult, MinimizationResult | None]:
+        """Generate a bounded plan for a covered query.
+
+        When ``minimize`` is true, the plan is generated against the minimized
+        subset ``A_m`` returned by the access-minimization heuristics.
+        Raises :class:`NotCoveredError` if the query is not covered.
+        """
+        coverage = self.check(query)
+        if not coverage.is_covered:
+            raise NotCoveredError(coverage.explain())
+        minimization: MinimizationResult | None = None
+        if minimize:
+            minimization = minimize_auto(query, self.access_schema)
+            coverage = check_coverage(query, minimization.selected)
+        plan = generate_plan(coverage)
+        return plan, coverage, minimization
+
+    # -- C5: SQL translation ----------------------------------------------------------
+    def to_sql(self, query: Query, *, minimize: bool = True) -> SQLTranslation:
+        """The ``Plan2SQL`` translation of the bounded plan for ``query``."""
+        plan, _, _ = self.plan(query, minimize=minimize)
+        return plan_to_sql(plan)
+
+    # -- C6: execution -------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        *,
+        minimize: bool = True,
+        allow_rewrite: bool = True,
+        fallback: bool = True,
+    ) -> EngineResult:
+        """Answer ``query``: bounded plan when possible, otherwise fall back.
+
+        With ``allow_rewrite`` the engine also tries the A-equivalent rewrites
+        of :mod:`repro.core.rewrite` (difference guarding, branch pruning)
+        before giving up on bounded evaluation.
+        """
+        target = query
+        rewrite_name = "identity"
+        coverage = self.check(query)
+        if not coverage.is_covered and allow_rewrite:
+            verdict = find_covered_rewrite(query, self.access_schema)
+            if verdict.bounded and verdict.witness is not None:
+                target = verdict.witness
+                rewrite_name = verdict.rewrite
+                coverage = self.check(target)
+
+        if coverage.is_covered:
+            minimization: MinimizationResult | None = None
+            effective_coverage = coverage
+            if minimize:
+                minimization = minimize_auto(target, self.access_schema)
+                effective_coverage = check_coverage(target, minimization.selected)
+            plan = generate_plan(effective_coverage)
+            execution: ExecutionResult = self._executor.execute(plan)
+            return EngineResult(
+                rows=execution.rows,
+                columns=execution.columns,
+                strategy="bounded",
+                elapsed=execution.elapsed,
+                counter=execution.counter,
+                plan=plan,
+                coverage=effective_coverage,
+                minimization=minimization,
+                rewrite=rewrite_name,
+            )
+
+        if not fallback:
+            raise NotCoveredError(coverage.explain())
+
+        baseline = evaluate_conventional(query, self.database, self.access_schema, self.indexes)
+        return EngineResult(
+            rows=baseline.rows,
+            columns=baseline.result.columns,
+            strategy="conventional",
+            elapsed=baseline.elapsed,
+            counter=baseline.counter,
+            coverage=coverage,
+        )
+
+    # -- C1: maintenance -------------------------------------------------------------------
+    def apply_insert(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
+        """Insert a tuple and incrementally maintain the indexes (Proposition 12)."""
+        instance = self.database.relation(relation)
+        prepared = instance._prepare(row)
+        if instance.insert(prepared):
+            self.indexes.apply_insert(relation, prepared)
+
+    def apply_delete(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
+        """Delete a tuple and incrementally maintain the indexes (Proposition 12)."""
+        instance = self.database.relation(relation)
+        prepared = instance._prepare(row)
+        if instance.delete(prepared):
+            self.indexes.apply_delete(relation, prepared, instance)
+
+    # -- reporting ----------------------------------------------------------------------------
+    def index_footprint(self) -> dict[str, object]:
+        """Size statistics of the materialized indexes (Exp-1(IV))."""
+        database_size = self.database.size
+        total = self.indexes.total_size
+        return {
+            "database_tuples": database_size,
+            "index_tuples": total,
+            "index_fraction": (total / database_size) if database_size else 0.0,
+            "build_seconds": self.index_build_seconds,
+            "constraints": len(self.access_schema),
+        }

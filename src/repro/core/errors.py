@@ -1,0 +1,89 @@
+"""Exception hierarchy for the bounded-evaluation library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is malformed or referenced inconsistently.
+
+    Raised, e.g., when a relation is declared twice, when an attribute is
+    referenced that does not belong to its relation, or when a constraint
+    mentions an unknown relation.
+    """
+
+
+class QueryError(ReproError):
+    """A relational-algebra query is structurally invalid.
+
+    Examples: projecting an attribute that does not exist in the input,
+    taking the union of expressions with different arities, or referencing
+    a relation that is not part of the schema.
+    """
+
+
+class AccessConstraintError(ReproError):
+    """An access constraint is malformed (e.g. attributes outside its relation)."""
+
+
+class NotCoveredError(ReproError):
+    """An operation that requires a covered query received one that is not.
+
+    ``QPlan`` and the access-minimization algorithms are only defined for
+    queries covered by the access schema; calling them on an uncovered query
+    raises this error rather than silently producing an unbounded plan.
+    """
+
+
+class PlanError(ReproError):
+    """A bounded query plan is invalid or cannot be executed.
+
+    Raised when a plan references an undefined intermediate result, when a
+    ``fetch`` uses an access constraint that is not part of the access
+    schema, or when plan execution encounters incompatible arities.
+    """
+
+
+class ParseError(ReproError):
+    """The SQL parser could not parse the input text."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class StorageError(ReproError):
+    """The storage layer was used inconsistently.
+
+    Examples: inserting a tuple with the wrong arity, loading a relation that
+    does not exist, or building an index over attributes the relation lacks.
+    """
+
+
+class ConstraintViolation(ReproError):
+    """A dataset does not satisfy an access constraint it was declared to satisfy."""
+
+    def __init__(self, constraint, value, count: int):
+        self.constraint = constraint
+        self.value = value
+        self.count = count
+        super().__init__(
+            f"constraint {constraint} violated: X-value {value!r} has {count} "
+            f"distinct Y-values (limit {constraint.bound})"
+        )
+
+
+class DiscoveryError(ReproError):
+    """Access-constraint discovery was configured or used incorrectly."""

@@ -1,0 +1,369 @@
+"""Access minimization — the AMP problem (Section 6).
+
+Given a query ``Q`` covered by an access schema ``A``, find a subset
+``A_m ⊆ A`` that still covers ``Q`` and minimizes ``Σ_{R(X→Y,N) ∈ A_m} N``
+(the estimated amount of data accessed through the chosen indexes).  The
+problem is NP-complete and not in APX (Theorem 9), so the paper gives
+heuristics with guarantees:
+
+* :func:`minimize_access` — ``minA``: greedy removal of redundant constraints
+  weighted by ``w(φ) = c1·N / (c2·(|cov(Q,A) \\ cov(Q,A∖{φ})| + 1))``; always
+  returns a *minimal* covering subset (Theorem 10(1)).
+* :func:`minimize_access_acyclic` — ``minADAG``: shortest hyperpaths in the
+  weighted ⟨Q,A⟩-hypergraph for the acyclic case (Theorem 10(2)).
+* :func:`minimize_access_elementary` — ``minAE``: reduction to a directed
+  Steiner-arborescence-style shortest-path union for the elementary case
+  (Theorem 10(3)).
+* :func:`minimize_access_exact` — exhaustive search, usable only for small
+  ``‖A‖``; provided to measure the quality of the heuristics in tests and
+  ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .access import AccessConstraint, AccessSchema
+from .coverage import CoverageChecker, CoverageResult, check_coverage
+from .errors import NotCoveredError
+from .hypergraph import ROOT, build_qa_hypergraph
+from .query import Query
+from .schema import Attribute
+
+
+@dataclass
+class MinimizationResult:
+    """The outcome of an AMP heuristic."""
+
+    selected: AccessSchema
+    cost: int
+    method: str
+    iterations: int = 0
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+def schema_cost(access_schema: AccessSchema | Iterable[AccessConstraint]) -> int:
+    """``Σ N`` over the constraints — the objective of AMP."""
+    return sum(constraint.bound for constraint in access_schema)
+
+
+# ---------------------------------------------------------------------------
+# Case classification (Section 6.1)
+# ---------------------------------------------------------------------------
+
+def is_elementary_case(access_schema: AccessSchema) -> bool:
+    """Whether every constraint is an indexing constraint or a unit constraint."""
+    return all(c.is_indexing or c.is_unit for c in access_schema)
+
+
+def is_acyclic_case(query: Query, access_schema: AccessSchema) -> bool:
+    """Whether the ⟨Q,A⟩-hypergraph of the (normalized) query is acyclic."""
+    coverage = check_coverage(query, access_schema)
+    hypergraph = build_qa_hypergraph(
+        coverage.normalized.query,
+        coverage.actualized,
+        analyses=[sub.analysis for sub in coverage.subqueries],
+    )
+    return hypergraph.is_acyclic()
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _coverage_tokens(coverage: CoverageResult) -> frozenset[str]:
+    """All covered attribute tokens across the max SPC sub-queries."""
+    tokens: set[str] = set()
+    for sub in coverage.subqueries:
+        tokens |= sub.covered_tokens
+    return frozenset(tokens)
+
+
+def _require_covered(
+    query: Query, access_schema: AccessSchema, checker: CoverageChecker | None = None
+) -> tuple[CoverageResult, CoverageChecker]:
+    checker = checker if checker is not None else CoverageChecker(query)
+    coverage = checker.check(access_schema)
+    if not coverage.is_covered:
+        raise NotCoveredError(
+            "access minimization is only defined for covered queries:\n" + coverage.explain()
+        )
+    return coverage, checker
+
+
+def _base_constraint_for(
+    actualized: AccessConstraint,
+    occurrences: Mapping[str, str],
+    access_schema: AccessSchema,
+) -> AccessConstraint | None:
+    """Map an actualized constraint back to the base constraint it was copied from."""
+    base_relation = occurrences.get(actualized.relation, actualized.relation)
+    for constraint in access_schema.for_relation(base_relation):
+        if (
+            constraint.lhs == actualized.lhs
+            and constraint.rhs == actualized.rhs
+            and constraint.bound == actualized.bound
+        ):
+            return constraint
+    return None
+
+
+def _ensure_indexing(
+    query: Query,
+    access_schema: AccessSchema,
+    selected: list[AccessConstraint],
+    checker: CoverageChecker,
+) -> list[AccessConstraint]:
+    """Add cheapest constraints until every relation of the query is indexed.
+
+    Used by ``minADAG`` / ``minAE`` after the hyperpath phase: the shortest
+    hyperpaths guarantee fetchability, and this pass restores the indexing
+    condition at minimal extra cost, preferring constraints already selected.
+    """
+    candidates = sorted(access_schema, key=lambda c: c.bound)
+    full = checker.check(access_schema)
+    for _ in range(len(candidates) + 1):
+        subset = access_schema.restrict(selected)
+        coverage = checker.check(subset)
+        if coverage.is_covered:
+            return selected
+        # Find which relations are not indexed and add the cheapest applicable
+        # constraint (as judged against the full schema's coverage).
+        added = False
+        for sub_full, sub_now in zip(full.subqueries, coverage.subqueries):
+            for relation in sub_now.unindexed_relations:
+                choice = sub_full.index_choices.get(relation)
+                if choice is None:
+                    continue
+                base = _base_constraint_for(
+                    choice, full.normalized.occurrences, access_schema
+                )
+                if base is not None and base not in selected:
+                    selected.append(base)
+                    added = True
+            if not sub_now.fetchable:
+                # Fall back: add cheapest constraints contributing to coverage.
+                for constraint in candidates:
+                    if constraint not in selected:
+                        selected.append(constraint)
+                        added = True
+                        break
+        if not added:
+            for constraint in candidates:
+                if constraint not in selected:
+                    selected.append(constraint)
+                    added = True
+                    break
+        if not added:  # pragma: no cover - exhausted all constraints
+            break
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# minA — the general greedy heuristic (Theorem 10(1))
+# ---------------------------------------------------------------------------
+
+def minimize_access(
+    query: Query,
+    access_schema: AccessSchema,
+    *,
+    c1: float = 1.0,
+    c2: float = 1.0,
+) -> MinimizationResult:
+    """``minA``: greedily drop redundant constraints, largest ``w(φ)`` first.
+
+    The returned subset is *minimal*: removing any further constraint would
+    leave the query uncovered.  ``c1`` and ``c2`` are the user-tunable
+    normalization coefficients of the paper's weight function.
+    """
+    _, checker = _require_covered(query, access_schema)
+    selected = list(access_schema)
+    iterations = 0
+
+    while True:
+        iterations += 1
+        current = access_schema.restrict(selected)
+        current_coverage = checker.check(current)
+        current_tokens = _coverage_tokens(current_coverage)
+
+        best: AccessConstraint | None = None
+        best_weight = float("-inf")
+        for constraint in selected:
+            reduced = access_schema.restrict([c for c in selected if c != constraint])
+            reduced_coverage = checker.check(reduced)
+            if not reduced_coverage.is_covered:
+                continue
+            lost = len(current_tokens - _coverage_tokens(reduced_coverage))
+            weight = (c1 * constraint.bound) / (c2 * (lost + 1))
+            if weight > best_weight:
+                best_weight = weight
+                best = constraint
+        if best is None:
+            break
+        selected.remove(best)
+
+    result_schema = access_schema.restrict(selected)
+    return MinimizationResult(
+        selected=result_schema,
+        cost=schema_cost(result_schema),
+        method="minA",
+        iterations=iterations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# minADAG — acyclic case (Theorem 10(2))
+# ---------------------------------------------------------------------------
+
+def minimize_access_acyclic(
+    query: Query, access_schema: AccessSchema
+) -> MinimizationResult:
+    """``minADAG``: shortest weighted hyperpaths from ``r`` to every needed attribute.
+
+    Selects the constraints appearing on the shortest hyperpaths to the nodes
+    of ``X̂_Q ∖ X̂_Q^C``, then adds indexing constraints for the relations of
+    the query.  Intended for the acyclic case but safe (still correct, just
+    without the approximation bound) on cyclic instances.
+    """
+    coverage, checker = _require_covered(query, access_schema)
+    hypergraph = build_qa_hypergraph(
+        coverage.normalized.query,
+        coverage.actualized,
+        weighted=True,
+        analyses=[sub.analysis for sub in coverage.subqueries],
+    )
+    selected: list[AccessConstraint] = []
+    total_path_weight = 0
+    for sub in coverage.subqueries:
+        analysis = sub.analysis
+        targets = analysis.unified_needed - analysis.unified_constant
+        for token in sorted(targets):
+            path = hypergraph.graph.shortest_hyperpath({ROOT}, token)
+            if path is None:  # pragma: no cover - guarded by coverage
+                raise NotCoveredError(f"attribute token {token!r} unreachable from r")
+            total_path_weight += path.weight
+            for constraint in path.constraints():
+                base = _base_constraint_for(
+                    constraint, coverage.normalized.occurrences, access_schema
+                )
+                if base is not None and base not in selected:
+                    selected.append(base)
+
+    selected = _ensure_indexing(query, access_schema, selected, checker)
+    result_schema = access_schema.restrict(selected)
+    return MinimizationResult(
+        selected=result_schema,
+        cost=schema_cost(result_schema),
+        method="minADAG",
+        details={"total_path_weight": total_path_weight, "acyclic": hypergraph.is_acyclic()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# minAE — elementary case (Theorem 10(3))
+# ---------------------------------------------------------------------------
+
+def minimize_access_elementary(
+    query: Query, access_schema: AccessSchema
+) -> MinimizationResult:
+    """``minAE``: Steiner-style selection for indexing + unit constraints.
+
+    The unit constraints form an ordinary weighted digraph over attribute
+    tokens; the heuristic takes the union of cheapest paths from ``r`` to the
+    terminals ``X̂_Q ∖ X̂_Q^C`` (a classical ``O(|V_T|)``-approximation of the
+    directed Steiner arborescence), then adds indexing constraints.
+    """
+    coverage, checker = _require_covered(query, access_schema)
+    unit_constraints = AccessSchema(
+        (c for c in access_schema if c.is_unit and not c.is_indexing),
+        schema=access_schema.schema,
+    )
+    # Build the weighted hypergraph restricted to A_ni (unit constraints);
+    # since |X| = |Y| = 1 it degenerates to a weighted digraph rooted at r.
+    actual_unit = coverage.normalized.actualize(unit_constraints)
+    hypergraph = build_qa_hypergraph(
+        coverage.normalized.query,
+        actual_unit,
+        weighted=True,
+        analyses=[sub.analysis for sub in coverage.subqueries],
+    )
+    selected: list[AccessConstraint] = []
+    arborescence_weight = 0
+    for sub in coverage.subqueries:
+        analysis = sub.analysis
+        targets = analysis.unified_needed - analysis.unified_constant
+        for token in sorted(targets):
+            path = hypergraph.graph.shortest_hyperpath({ROOT}, token)
+            if path is None:
+                # Not reachable via unit constraints alone; the indexing pass
+                # below (which may use non-unit constraints) will fix coverage.
+                continue
+            arborescence_weight += path.weight
+            for constraint in path.constraints():
+                base = _base_constraint_for(
+                    constraint, coverage.normalized.occurrences, access_schema
+                )
+                if base is not None and base not in selected:
+                    selected.append(base)
+
+    selected = _ensure_indexing(query, access_schema, selected, checker)
+    result_schema = access_schema.restrict(selected)
+    return MinimizationResult(
+        selected=result_schema,
+        cost=schema_cost(result_schema),
+        method="minAE",
+        details={
+            "arborescence_weight": arborescence_weight,
+            "elementary": is_elementary_case(access_schema),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact search (for evaluation of the heuristics) and auto dispatch
+# ---------------------------------------------------------------------------
+
+def minimize_access_exact(
+    query: Query, access_schema: AccessSchema, *, max_constraints: int = 16
+) -> MinimizationResult:
+    """Exhaustive AMP solver for small instances (exponential in ``‖A‖``).
+
+    Only usable when ``‖A‖ ≤ max_constraints``; used by tests and ablation
+    benchmarks to measure how far the heuristics are from the optimum.
+    """
+    _, checker = _require_covered(query, access_schema)
+    constraints = list(access_schema)
+    if len(constraints) > max_constraints:
+        raise ValueError(
+            f"exact search limited to {max_constraints} constraints, got {len(constraints)}"
+        )
+    best_subset: tuple[AccessConstraint, ...] | None = None
+    best_cost = schema_cost(access_schema) + 1
+    for size in range(len(constraints) + 1):
+        for subset in itertools.combinations(constraints, size):
+            cost = schema_cost(subset)
+            if cost >= best_cost:
+                continue
+            candidate = access_schema.restrict(subset)
+            if checker.check(candidate).is_covered:
+                best_subset = subset
+                best_cost = cost
+    assert best_subset is not None  # the full schema always covers
+    result_schema = access_schema.restrict(best_subset)
+    return MinimizationResult(
+        selected=result_schema, cost=best_cost, method="exact"
+    )
+
+
+def minimize_auto(query: Query, access_schema: AccessSchema) -> MinimizationResult:
+    """Dispatch to the specialised heuristic when its case applies, else ``minA``."""
+    if is_elementary_case(access_schema):
+        return minimize_access_elementary(query, access_schema)
+    if is_acyclic_case(query, access_schema):
+        return minimize_access_acyclic(query, access_schema)
+    return minimize_access(query, access_schema)

@@ -1,0 +1,179 @@
+"""Query normalization (Section 2, Lemma 1).
+
+The paper considers RA queries in a *normal form* in which every occurrence of
+a relation name has been made distinct via renaming, and works with the
+*actualized* access schema in which every constraint of a base relation is
+copied onto each of its occurrences.  :func:`normalize` rewrites an arbitrary
+query into this normal form and returns the occurrence-to-base mapping needed
+to actualize an access schema, all in ``O(|Q|)`` (plus ``O(|Q||A|)`` for
+actualization, per Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .access import AccessSchema
+from .errors import QueryError
+from .query import (
+    And,
+    Comparison,
+    Difference,
+    Join,
+    Predicate,
+    Product,
+    Projection,
+    Query,
+    Relation,
+    Rename,
+    Selection,
+    Union,
+    conjunction,
+)
+from .schema import Attribute
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """The result of :func:`normalize`.
+
+    ``query`` is the rewritten query in which all relation occurrences have
+    distinct names, ``occurrences`` maps each occurrence name to the base
+    relation it refers to, and ``renamed`` maps original occurrence names to
+    the fresh names introduced (only for occurrences that had to be renamed).
+    """
+
+    query: Query
+    occurrences: Mapping[str, str]
+    renamed: Mapping[str, str]
+
+    def actualize(self, access_schema: AccessSchema) -> AccessSchema:
+        """The actualized access schema of ``access_schema`` on this query (Lemma 1)."""
+        return access_schema.actualize(self.occurrences)
+
+
+def normalize(query: Query) -> NormalizedQuery:
+    """Rewrite ``query`` so that every relation occurrence has a distinct name.
+
+    Occurrences that collide with an earlier occurrence are renamed to
+    ``<base>__k`` for increasing ``k``; selection/join conditions and
+    projection lists inside the renamed branch are rewritten accordingly.
+    ``Rename`` nodes are eliminated by pushing the renaming into the relation
+    occurrence they wrap when possible (a renamed relation atom), and kept
+    otherwise.
+    """
+    used: dict[str, int] = {}
+    occurrences: dict[str, str] = {}
+    renamed: dict[str, str] = {}
+
+    def fresh_name(base: str) -> str:
+        count = used.get(base, 0)
+        while True:
+            count += 1
+            candidate = f"{base}__{count}" if count > 1 or base in occurrences else base
+            if candidate not in occurrences and candidate not in used:
+                used[base] = count
+                return candidate
+
+    def rewrite(node: Query) -> tuple[Query, dict[str, str]]:
+        """Return the rewritten node and the occurrence-name substitution valid below it."""
+        if isinstance(node, Relation):
+            if node.name not in occurrences:
+                occurrences[node.name] = node.base
+                used.setdefault(node.name, 1)
+                return node, {}
+            new_name = fresh_name(node.base)
+            occurrences[new_name] = node.base
+            renamed[node.name] = new_name
+            replacement = Relation(new_name, node.attribute_names, base=node.base)
+            return replacement, {node.name: new_name}
+
+        if isinstance(node, Rename):
+            child, mapping = rewrite(node.child)
+            # A rename of a plain relation atom folds into the occurrence name.
+            if isinstance(child, Relation):
+                if node.name in occurrences and occurrences.get(node.name) != child.base:
+                    raise QueryError(
+                        f"rename target {node.name!r} collides with an existing occurrence"
+                    )
+                occurrences.pop(child.name, None)
+                occurrences[node.name] = child.base
+                replacement = Relation(node.name, child.attribute_names, base=child.base)
+                return replacement, {child.name: node.name}
+            return Rename(child, node.name), mapping
+
+        if isinstance(node, Selection):
+            child, mapping = rewrite(node.child)
+            return Selection(child, _substitute_predicate(node.condition, mapping)), mapping
+
+        if isinstance(node, Projection):
+            child, mapping = rewrite(node.child)
+            attributes = [_substitute_attribute(a, mapping) for a in node.attributes]
+            return Projection(child, attributes), mapping
+
+        if isinstance(node, (Product, Join)):
+            left, left_map = rewrite(node.children[0])
+            right, right_map = rewrite(node.children[1])
+            mapping = _merge_mappings(left_map, right_map)
+            if isinstance(node, Product):
+                return Product(left, right), mapping
+            condition = _substitute_predicate(node.condition, mapping)
+            return Join(left, right, condition), mapping
+
+        if isinstance(node, (Union, Difference)):
+            left, left_map = rewrite(node.children[0])
+            right, _ = rewrite(node.children[1])
+            # Attributes above a union/difference refer to the left operand only.
+            cls = Union if isinstance(node, Union) else Difference
+            return cls(left, right), left_map
+
+        raise QueryError(f"cannot normalize unknown node {type(node).__name__}")
+
+    rewritten, _ = rewrite(query)
+    return NormalizedQuery(rewritten, dict(occurrences), dict(renamed))
+
+
+def _merge_mappings(left: dict[str, str], right: dict[str, str]) -> dict[str, str]:
+    merged = dict(left)
+    for key, value in right.items():
+        if key in merged and merged[key] != value:
+            raise QueryError(
+                f"ambiguous occurrence {key!r}: renamed to both {merged[key]!r} and {value!r} "
+                "within the same product/join"
+            )
+        merged[key] = value
+    return merged
+
+
+def _substitute_attribute(attribute: Attribute, mapping: Mapping[str, str]) -> Attribute:
+    new_relation = mapping.get(attribute.relation)
+    if new_relation is None:
+        return attribute
+    return Attribute(new_relation, attribute.name)
+
+
+def _substitute_predicate(predicate: Predicate, mapping: Mapping[str, str]) -> Predicate:
+    if not mapping:
+        return predicate
+    atoms = []
+    for conjunct in predicate.conjuncts():
+        if isinstance(conjunct, Comparison):
+            left = (
+                _substitute_attribute(conjunct.left, mapping)
+                if isinstance(conjunct.left, Attribute)
+                else conjunct.left
+            )
+            right = (
+                _substitute_attribute(conjunct.right, mapping)
+                if isinstance(conjunct.right, Attribute)
+                else conjunct.right
+            )
+            atoms.append(Comparison(left, conjunct.op, right))
+        elif isinstance(conjunct, And):  # pragma: no cover - conjuncts() flattens Ands
+            atoms.append(_substitute_predicate(conjunct, mapping))
+        else:
+            atoms.append(conjunct)
+    result = conjunction(atoms)
+    assert result is not None
+    return result

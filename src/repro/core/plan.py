@@ -1,0 +1,428 @@
+"""Bounded query plans (Section 2 and Section 5.1).
+
+A query plan under an access schema is a sequence of steps ``T1 = δ1, ...,
+Tn = δn`` where each ``δi`` is a constant singleton, a ``fetch`` via an
+access constraint, or a relational operation over earlier steps.  A plan is
+*boundedly evaluable* when every fetch is backed by a constraint of the
+access schema and the plan length depends only on ``|Q|`` and ``|A|``.
+
+The module defines the plan operators, the :class:`BoundedPlan` container
+(with static access-bound estimation in the spirit of Example 1's
+"at most 470 000 tuples" arithmetic), and plan validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .access import AccessConstraint, AccessSchema
+from .errors import PlanError
+
+
+# ---------------------------------------------------------------------------
+# Column-level predicates (used by Select steps)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to a column of the step being filtered."""
+
+    column: str
+
+    def __str__(self) -> str:
+        return self.column
+
+
+@dataclass(frozen=True)
+class ColumnPredicate:
+    """An atomic comparison between a column and a column or constant."""
+
+    left: str
+    op: str
+    right: object
+
+    _OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PlanError(f"unsupported comparison operator {self.op!r}")
+
+    @property
+    def right_is_column(self) -> bool:
+        return isinstance(self.right, ColumnRef)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+# ---------------------------------------------------------------------------
+# Plan operators
+# ---------------------------------------------------------------------------
+
+class PlanOp:
+    """Base class of plan-step operators."""
+
+    #: ids of the steps this operator reads from, in order
+    inputs: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class ConstOp(PlanOp):
+    """``T = {c}``: a single-row, single-column constant relation."""
+
+    value: object
+    column: str
+    inputs: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        return f"{{{self.value!r}}} as ({self.column})"
+
+
+@dataclass
+class UnitOp(PlanOp):
+    """A single empty tuple, used as the driver of fetches with an empty LHS."""
+
+    inputs: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        return "{()}"
+
+
+@dataclass
+class FetchOp(PlanOp):
+    """``fetch(X ∈ T, R, Y)`` backed by an access constraint ``R(X → Y, N)``.
+
+    ``key_columns`` names, for each attribute of the constraint's LHS (in
+    sorted order), the column of the input step holding its value.  The
+    output columns are the qualified ``X ∪ Y`` attributes of the relation.
+    """
+
+    constraint: AccessConstraint
+    key_columns: tuple[str, ...]
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        keys = ", ".join(self.key_columns) or "()"
+        return f"fetch(X∈T{self.inputs[0]} via {self.constraint}; keys=({keys}))"
+
+
+@dataclass
+class ProjectOp(PlanOp):
+    """``π_columns(T)`` with optional output renaming."""
+
+    columns: tuple[str, ...]
+    inputs: tuple[int, ...]
+    output_names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.output_names is not None and len(self.output_names) != len(self.columns):
+            raise PlanError("output_names must align with columns")
+
+    def describe(self) -> str:
+        cols = ", ".join(self.columns)
+        if self.output_names and tuple(self.output_names) != tuple(self.columns):
+            cols += " as " + ", ".join(self.output_names)
+        return f"π[{cols}](T{self.inputs[0]})"
+
+
+@dataclass
+class SelectOp(PlanOp):
+    """``σ_condition(T)`` where the condition is a conjunction of column predicates."""
+
+    predicates: tuple[ColumnPredicate, ...]
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        condition = " AND ".join(str(p) for p in self.predicates)
+        return f"σ[{condition}](T{self.inputs[0]})"
+
+
+@dataclass
+class RenameOp(PlanOp):
+    """Rename the columns of a step (positional mapping preserved)."""
+
+    mapping: Mapping[str, str]
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{old}→{new}" for old, new in self.mapping.items())
+        return f"ρ[{pairs}](T{self.inputs[0]})"
+
+
+@dataclass
+class ProductOp(PlanOp):
+    """Cartesian product of two steps (columns must be disjoint)."""
+
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"T{self.inputs[0]} × T{self.inputs[1]}"
+
+
+@dataclass
+class UnionOp(PlanOp):
+    """Set union (positional) of two steps with equal arity."""
+
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"T{self.inputs[0]} ∪ T{self.inputs[1]}"
+
+
+@dataclass
+class DifferenceOp(PlanOp):
+    """Set difference (positional) of two steps with equal arity."""
+
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"T{self.inputs[0]} − T{self.inputs[1]}"
+
+
+@dataclass
+class IntersectOp(PlanOp):
+    """Set intersection (positional) of two steps with equal arity."""
+
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"T{self.inputs[0]} ∩ T{self.inputs[1]}"
+
+
+# ---------------------------------------------------------------------------
+# Plan steps and the plan container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanStep:
+    """One ``Ti = δi`` entry of a bounded query plan."""
+
+    id: int
+    op: PlanOp
+    columns: tuple[str, ...]
+    comment: str = ""
+
+    def __str__(self) -> str:
+        note = f"    -- {self.comment}" if self.comment else ""
+        return f"T{self.id} = {self.op.describe()}{note}"
+
+
+@dataclass
+class BoundedPlan:
+    """A bounded query plan: an ordered list of steps plus bookkeeping.
+
+    ``fetch_plans`` maps unified attribute tokens to the step computing their
+    unit fetching plan; ``surrogates`` maps relation occurrence names to the
+    step holding the indexed partial relation used by the evaluation plan.
+    """
+
+    steps: list[PlanStep]
+    output: int
+    access_schema: AccessSchema
+    fetch_plans: Mapping[str, int] = field(default_factory=dict)
+    surrogates: Mapping[str, int] = field(default_factory=dict)
+    #: occurrence name -> base relation name (needed to map actualized
+    #: constraints back to the physical indexes built on base relations)
+    occurrences: Mapping[str, str] = field(default_factory=dict)
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """The length of the plan (number of steps) — ``O(|Q||A|)`` per Lemma 8."""
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[PlanStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def step(self, step_id: int) -> PlanStep:
+        try:
+            return self.steps[step_id]
+        except IndexError:
+            raise PlanError(f"plan has no step T{step_id}") from None
+
+    def fetch_steps(self) -> tuple[PlanStep, ...]:
+        return tuple(s for s in self.steps if isinstance(s.op, FetchOp))
+
+    def constraints_used(self) -> tuple[AccessConstraint, ...]:
+        """The distinct access constraints used by fetch steps, in first-use order."""
+        seen: list[AccessConstraint] = []
+        for step in self.fetch_steps():
+            constraint = step.op.constraint  # type: ignore[union-attr]
+            if constraint not in seen:
+                seen.append(constraint)
+        return tuple(seen)
+
+    # -- validation ----------------------------------------------------------------
+    def validate(self) -> None:
+        """Check referential integrity and that every fetch uses a schema constraint."""
+        for step in self.steps:
+            for input_id in step.op.inputs:
+                if input_id >= step.id:
+                    raise PlanError(
+                        f"step T{step.id} references later or same step T{input_id}"
+                    )
+                if input_id < 0 or input_id >= len(self.steps):
+                    raise PlanError(f"step T{step.id} references missing step T{input_id}")
+            if isinstance(step.op, FetchOp) and step.op.constraint not in self.access_schema:
+                raise PlanError(
+                    f"fetch in step T{step.id} uses constraint {step.op.constraint} "
+                    "that is not in the access schema"
+                )
+        if self.output < 0 or self.output >= len(self.steps):
+            raise PlanError(f"output step T{self.output} does not exist")
+
+    @property
+    def is_bounded(self) -> bool:
+        """Every fetch is backed by the access schema (condition (1) of Section 2)."""
+        try:
+            self.validate()
+        except PlanError:
+            return False
+        return True
+
+    # -- static access estimation ------------------------------------------------------
+    def column_bounds(self) -> dict[int, dict[str, int]]:
+        """Per-step, per-column upper bounds on the number of distinct values.
+
+        Derived purely from the access constraints: a constant column holds one
+        value, a fetch keyed on columns with bounds ``b1..bk`` under a
+        constraint with bound ``N`` yields at most ``b1·…·bk`` distinct keys
+        and ``b1·…·bk·N`` distinct values in its RHS columns, and so on.  This
+        is the arithmetic of Example 1 ("at most 5000 + 5000·31·2 tuples").
+        """
+        per_step: dict[int, dict[str, int]] = {}
+        rows: dict[int, int] = {}
+        for step in self.steps:
+            op = step.op
+            if isinstance(op, ConstOp):
+                per_step[step.id] = {op.column: 1}
+                rows[step.id] = 1
+            elif isinstance(op, UnitOp):
+                per_step[step.id] = {}
+                rows[step.id] = 1
+            elif isinstance(op, FetchOp):
+                source = per_step[op.inputs[0]]
+                keys = 1
+                for column in op.key_columns:
+                    keys *= max(1, source.get(column, rows[op.inputs[0]]))
+                keys = min(keys, rows[op.inputs[0]])
+                produced = keys * op.constraint.bound
+                bounds: dict[str, int] = {}
+                lhs_sorted = sorted(op.constraint.lhs)
+                for attr, key_column in zip(lhs_sorted, op.key_columns):
+                    bounds[f"{op.constraint.relation}.{attr}"] = max(
+                        1, source.get(key_column, keys)
+                    )
+                for column in step.columns:
+                    bounds.setdefault(column, produced)
+                per_step[step.id] = bounds
+                rows[step.id] = produced
+            elif isinstance(op, ProjectOp):
+                source = per_step[op.inputs[0]]
+                names = op.output_names if op.output_names is not None else op.columns
+                bounds = {}
+                product = 1
+                for column, name in zip(op.columns, names):
+                    bound = source.get(column, rows[op.inputs[0]])
+                    bounds[name] = bound
+                    product *= max(1, bound)
+                per_step[step.id] = bounds
+                rows[step.id] = min(rows[op.inputs[0]], product)
+            elif isinstance(op, SelectOp):
+                per_step[step.id] = dict(per_step[op.inputs[0]])
+                rows[step.id] = rows[op.inputs[0]]
+            elif isinstance(op, RenameOp):
+                source = per_step[op.inputs[0]]
+                per_step[step.id] = {
+                    op.mapping.get(column, column): bound for column, bound in source.items()
+                }
+                rows[step.id] = rows[op.inputs[0]]
+            elif isinstance(op, ProductOp):
+                left, right = per_step[op.inputs[0]], per_step[op.inputs[1]]
+                per_step[step.id] = {**left, **right}
+                rows[step.id] = rows[op.inputs[0]] * rows[op.inputs[1]]
+            elif isinstance(op, UnionOp):
+                left, right = per_step[op.inputs[0]], per_step[op.inputs[1]]
+                bounds = {}
+                for (lcol, lbound), rbound in zip(left.items(), right.values()):
+                    bounds[lcol] = lbound + rbound
+                per_step[step.id] = bounds
+                rows[step.id] = rows[op.inputs[0]] + rows[op.inputs[1]]
+            elif isinstance(op, (DifferenceOp, IntersectOp)):
+                per_step[step.id] = dict(per_step[op.inputs[0]])
+                rows[step.id] = rows[op.inputs[0]]
+            else:  # pragma: no cover - future operators
+                raise PlanError(f"unknown operator {type(op).__name__}")
+        self._row_bounds = rows
+        return per_step
+
+    def cardinality_bounds(self) -> dict[int, int]:
+        """A per-step upper bound on output cardinality implied by the constraints."""
+        self.column_bounds()
+        return dict(self._row_bounds)
+
+    def access_bound(self) -> int:
+        """An upper bound on the number of tuples the plan can access.
+
+        Each ``fetch(X ∈ T, R, Y)`` issues at most one index probe per distinct
+        key of its input and retrieves at most ``N`` tuples per probe.  The
+        bound is the sum over all fetch steps, computed from the constraints
+        alone — independent of any dataset, as required by bounded
+        evaluability.
+        """
+        column_bounds = self.column_bounds()
+        rows = self._row_bounds
+        total = 0
+        for step in self.fetch_steps():
+            op = step.op
+            source = column_bounds[op.inputs[0]]  # type: ignore[index]
+            keys = 1
+            for column in op.key_columns:  # type: ignore[union-attr]
+                keys *= max(1, source.get(column, rows[op.inputs[0]]))
+            keys = min(keys, rows[op.inputs[0]])
+            total += keys * op.constraint.bound  # type: ignore[union-attr]
+        return total
+
+    # -- rendering ------------------------------------------------------------------
+    def __str__(self) -> str:
+        lines = [str(step) for step in self.steps]
+        lines.append(f"-- result: T{self.output}")
+        return "\n".join(lines)
+
+
+class PlanBuilder:
+    """Incremental construction of a :class:`BoundedPlan`."""
+
+    def __init__(self, access_schema: AccessSchema, occurrences: Mapping[str, str] | None = None):
+        self.access_schema = access_schema
+        self.occurrences: Mapping[str, str] = dict(occurrences or {})
+        self.steps: list[PlanStep] = []
+        self.fetch_plans: dict[str, int] = {}
+        self.surrogates: dict[str, int] = {}
+
+    def add(self, op: PlanOp, columns: Sequence[str], comment: str = "") -> int:
+        step = PlanStep(id=len(self.steps), op=op, columns=tuple(columns), comment=comment)
+        self.steps.append(step)
+        return step.id
+
+    def columns(self, step_id: int) -> tuple[str, ...]:
+        return self.steps[step_id].columns
+
+    def build(self, output: int) -> BoundedPlan:
+        plan = BoundedPlan(
+            steps=self.steps,
+            output=output,
+            access_schema=self.access_schema,
+            fetch_plans=dict(self.fetch_plans),
+            surrogates=dict(self.surrogates),
+            occurrences=dict(self.occurrences),
+        )
+        plan.validate()
+        return plan

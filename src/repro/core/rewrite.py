@@ -1,0 +1,249 @@
+"""A-equivalent query rewriting and the bounded-evaluability oracle.
+
+Deciding whether an arbitrary RA query is boundedly evaluable is undecidable;
+the paper's Example 1 shows the key pattern that makes a query bounded even
+though it is not covered as written: a set difference ``Q1 − Q2`` whose right
+operand is unbounded can be *guarded* by the left operand,
+
+    ``Q1 − Q2  ≡  Q1 − π_out(Q1' ⋈_out Q2)``,
+
+because only answers of ``Q1`` can be removed by the difference.  The guarded
+right-hand side joins on the output attributes, which are covered through
+``Q1``, and often becomes covered (e.g. via a key-like constraint such as ψ3).
+
+This module implements that rewrite (plus unsatisfiable-branch pruning) and a
+best-effort *oracle* :func:`is_boundedly_evaluable` that the experiments use
+in place of the paper's "manual examination" when measuring Figure 6's
+percentage of boundedly evaluable queries.  The oracle is sound but not
+complete: a ``True`` answer always comes with a covered witness query that is
+``A``-equivalent (indeed plain-equivalent) to the input.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .access import AccessSchema
+from .coverage import check_coverage
+from .query import (
+    Comparison,
+    Difference,
+    Join,
+    Predicate,
+    Product,
+    Projection,
+    Query,
+    Relation,
+    Rename,
+    Selection,
+    Union,
+    conjunction,
+    eq,
+)
+from .spc import SPCAnalysis, max_spc_subqueries
+
+_clone_counter = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Structure-preserving cloning with fresh occurrence names
+# ---------------------------------------------------------------------------
+
+def clone_with_fresh_names(query: Query, suffix: str | None = None) -> Query:
+    """A deep copy of ``query`` in which every relation occurrence gets a fresh name.
+
+    Needed when a rewrite duplicates a sub-query (e.g. the guard of a set
+    difference), so that the result can still be normalized into distinct
+    occurrences.
+    """
+    if suffix is None:
+        suffix = f"copy{next(_clone_counter)}"
+    mapping: dict[str, str] = {}
+
+    def rename_attr(attribute):
+        from .schema import Attribute
+
+        new_relation = mapping.get(attribute.relation)
+        if new_relation is None:
+            return attribute
+        return Attribute(new_relation, attribute.name)
+
+    def rewrite_predicate(condition: Predicate) -> Predicate:
+        from .query import And, Constant
+        from .schema import Attribute
+
+        atoms = []
+        for atom in condition.atoms():
+            left = rename_attr(atom.left) if isinstance(atom.left, Attribute) else atom.left
+            right = rename_attr(atom.right) if isinstance(atom.right, Attribute) else atom.right
+            atoms.append(Comparison(left, atom.op, right))
+        combined = conjunction(atoms)
+        assert combined is not None
+        return combined
+
+    def visit(node: Query) -> Query:
+        if isinstance(node, Relation):
+            new_name = f"{node.name}_{suffix}"
+            mapping[node.name] = new_name
+            return Relation(new_name, node.attribute_names, base=node.base)
+        if isinstance(node, Selection):
+            child = visit(node.child)
+            return Selection(child, rewrite_predicate(node.condition))
+        if isinstance(node, Projection):
+            child = visit(node.child)
+            return Projection(child, [rename_attr(a) for a in node.attributes])
+        if isinstance(node, Product):
+            return Product(visit(node.left), visit(node.right))
+        if isinstance(node, Join):
+            left = visit(node.left)
+            right = visit(node.right)
+            return Join(left, right, rewrite_predicate(node.condition))
+        if isinstance(node, Union):
+            return Union(visit(node.left), visit(node.right))
+        if isinstance(node, Difference):
+            return Difference(visit(node.left), visit(node.right))
+        if isinstance(node, Rename):
+            return Rename(visit(node.child), f"{node.name}_{suffix}")
+        raise TypeError(f"cannot clone query node {type(node).__name__}")  # pragma: no cover
+
+    return visit(query)
+
+
+# ---------------------------------------------------------------------------
+# Rewrites
+# ---------------------------------------------------------------------------
+
+def guard_difference(node: Difference) -> Difference:
+    """Rewrite ``L − R`` into the equivalent ``L − π_out(L' ⋈ R)``.
+
+    ``L'`` is a fresh-named copy of ``L``; the join equates the output
+    attributes of ``L'`` and ``R`` positionally.  The rewrite is an ordinary
+    equivalence (not just A-equivalence): only tuples of ``L`` can survive
+    into the intersection, so subtracting the guarded right side removes
+    exactly the tuples the original difference removes.
+    """
+    left_copy = clone_with_fresh_names(node.left)
+    join_atoms = [
+        eq(left_attr, right_attr)
+        for left_attr, right_attr in zip(
+            left_copy.output_attributes(), node.right.output_attributes()
+        )
+    ]
+    condition = conjunction(join_atoms)
+    assert condition is not None
+    guarded = Projection(
+        Join(left_copy, node.right, condition), list(left_copy.output_attributes())
+    )
+    return Difference(node.left, guarded)
+
+
+def guard_differences(query: Query) -> Query:
+    """Apply :func:`guard_difference` to every set-difference node, bottom-up."""
+
+    def visit(node: Query) -> Query:
+        if isinstance(node, Relation):
+            return node
+        if isinstance(node, Selection):
+            return Selection(visit(node.child), node.condition)
+        if isinstance(node, Projection):
+            return Projection(visit(node.child), list(node.attributes))
+        if isinstance(node, Product):
+            return Product(visit(node.left), visit(node.right))
+        if isinstance(node, Join):
+            return Join(visit(node.left), visit(node.right), node.condition)
+        if isinstance(node, Union):
+            return Union(visit(node.left), visit(node.right))
+        if isinstance(node, Difference):
+            return guard_difference(Difference(visit(node.left), visit(node.right)))
+        if isinstance(node, Rename):
+            return Rename(visit(node.child), node.name)
+        raise TypeError(f"cannot rewrite query node {type(node).__name__}")  # pragma: no cover
+
+    return visit(query)
+
+
+def prune_unsatisfiable_branches(query: Query) -> Query:
+    """Drop union branches whose SPC analysis equates two distinct constants.
+
+    This mirrors the constraint-driven simplification of Example 3: branches
+    that can never produce a tuple (their selection equates two different
+    constants) may be removed without changing the answer on any database.
+    """
+
+    def branch_unsatisfiable(node: Query) -> bool:
+        if not node.is_spc():
+            return False
+        try:
+            return SPCAnalysis(node).unsatisfiable is not None
+        except Exception:  # pragma: no cover - defensive
+            return False
+
+    def visit(node: Query) -> Query:
+        if isinstance(node, Union):
+            left, right = visit(node.left), visit(node.right)
+            if branch_unsatisfiable(left):
+                return right
+            if branch_unsatisfiable(right):
+                return left
+            return Union(left, right)
+        if isinstance(node, Difference):
+            left, right = visit(node.left), visit(node.right)
+            return Difference(left, right)
+        if isinstance(node, Selection):
+            return Selection(visit(node.child), node.condition)
+        if isinstance(node, Projection):
+            return Projection(visit(node.child), list(node.attributes))
+        if isinstance(node, Product):
+            return Product(visit(node.left), visit(node.right))
+        if isinstance(node, Join):
+            return Join(visit(node.left), visit(node.right), node.condition)
+        if isinstance(node, Rename):
+            return Rename(visit(node.child), node.name)
+        return node
+
+    return visit(query)
+
+
+# ---------------------------------------------------------------------------
+# Bounded-evaluability oracle
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BoundednessVerdict:
+    """The oracle's answer: whether a covered witness was found, and which one."""
+
+    bounded: bool
+    witness: Query | None
+    rewrite: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.bounded
+
+
+def rewrite_candidates(query: Query) -> list[tuple[str, Query]]:
+    """The equivalent rewritings the oracle considers, in preference order."""
+    candidates: list[tuple[str, Query]] = [("identity", query)]
+    pruned = prune_unsatisfiable_branches(query)
+    candidates.append(("prune", pruned))
+    candidates.append(("guard-difference", guard_differences(query)))
+    candidates.append(("prune+guard", guard_differences(pruned)))
+    return candidates
+
+
+def find_covered_rewrite(query: Query, access_schema: AccessSchema) -> BoundednessVerdict:
+    """Search the rewrite space for an equivalent query covered by ``access_schema``.
+
+    Tried in order: the query itself, unsatisfiable-branch pruning, difference
+    guarding, and both combined.  Sound but incomplete (undecidability forbids
+    completeness): a negative verdict means "no covered witness found".
+    """
+    for name, candidate in rewrite_candidates(query):
+        if check_coverage(candidate, access_schema).is_covered:
+            return BoundednessVerdict(bounded=True, witness=candidate, rewrite=name)
+    return BoundednessVerdict(bounded=False, witness=None, rewrite="none")
+
+
+def is_boundedly_evaluable(query: Query, access_schema: AccessSchema) -> bool:
+    """Best-effort decision of bounded evaluability via covered rewrites."""
+    return find_covered_rewrite(query, access_schema).bounded

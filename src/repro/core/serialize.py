@@ -1,0 +1,91 @@
+"""JSON (de)serialization of schemas and access schemas.
+
+Used by the command-line interface and handy for persisting discovered access
+schemas next to the data they were mined from.  The formats are deliberately
+plain:
+
+* database schema — ``{"relation": ["attr1", "attr2", ...], ...}``
+* access schema — ``[{"relation": ..., "lhs": [...], "rhs": [...],
+  "bound": N, "name": optional}, ...]``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .access import AccessConstraint, AccessSchema
+from .errors import SchemaError
+from .schema import DatabaseSchema
+
+
+# ---------------------------------------------------------------------------
+# Database schemas
+# ---------------------------------------------------------------------------
+
+def schema_to_dict(schema: DatabaseSchema) -> dict[str, list[str]]:
+    return {relation.name: list(relation.attributes) for relation in schema}
+
+
+def schema_from_dict(data: dict[str, list[str]]) -> DatabaseSchema:
+    if not isinstance(data, dict):
+        raise SchemaError("database schema JSON must be an object of relation -> attributes")
+    return DatabaseSchema.from_dict(data)
+
+
+def dump_schema(schema: DatabaseSchema, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2) + "\n")
+
+
+def load_schema(path: str | Path) -> DatabaseSchema:
+    return schema_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Access schemas
+# ---------------------------------------------------------------------------
+
+def constraint_to_dict(constraint: AccessConstraint) -> dict:
+    data = {
+        "relation": constraint.relation,
+        "lhs": sorted(constraint.lhs),
+        "rhs": sorted(constraint.rhs),
+        "bound": constraint.bound,
+    }
+    if constraint.name:
+        data["name"] = constraint.name
+    return data
+
+
+def constraint_from_dict(data: dict) -> AccessConstraint:
+    try:
+        return AccessConstraint.of(
+            data["relation"],
+            data.get("lhs", []),
+            data["rhs"],
+            int(data["bound"]),
+            name=data.get("name"),
+        )
+    except KeyError as missing:
+        raise SchemaError(f"access constraint JSON missing field {missing}") from None
+
+
+def access_schema_to_list(access_schema: AccessSchema | Iterable[AccessConstraint]) -> list[dict]:
+    return [constraint_to_dict(constraint) for constraint in access_schema]
+
+
+def access_schema_from_list(
+    data: list[dict], schema: DatabaseSchema | None = None
+) -> AccessSchema:
+    if not isinstance(data, list):
+        raise SchemaError("access schema JSON must be a list of constraint objects")
+    return AccessSchema((constraint_from_dict(item) for item in data), schema=schema)
+
+
+def dump_access_schema(access_schema: AccessSchema, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(access_schema_to_list(access_schema), indent=2) + "\n")
+
+
+def load_access_schema(path: str | Path, schema: DatabaseSchema | None = None) -> AccessSchema:
+    return access_schema_from_list(json.loads(Path(path).read_text()), schema=schema)

@@ -1,0 +1,145 @@
+"""Incremental maintenance of access schemas and their indexes (Proposition 12).
+
+In response to a batch of updates ``ΔD`` (tuple insertions and deletions),
+both the constraints ``A`` and the indexes ``I_A`` can be maintained in
+``O(N_A · |ΔD|)`` time, where ``N_A = Σ N`` over the constraints — i.e. the
+cost depends on the access schema and the update size only, never on ``|D|``
+or ``|I_A|``.
+
+Two flavours are provided:
+
+* :func:`apply_updates` — maintain the *indexes* (and the stored relations)
+  for a fixed access schema; constraints whose bound would be violated by an
+  insertion are reported.
+* :func:`maintain_constraints` — additionally *adjust* the bounds of
+  policy-style constraints that the updates outgrow (e.g. Facebook raising
+  the friend limit), returning a new access schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..storage.database import Database
+from ..storage.index import IndexSet
+
+
+@dataclass(frozen=True)
+class Update:
+    """One tuple insertion or deletion."""
+
+    relation: str
+    row: tuple
+    kind: Literal["insert", "delete"] = "insert"
+
+    @classmethod
+    def insert(cls, relation: str, row: Sequence) -> "Update":
+        return cls(relation, tuple(row), "insert")
+
+    @classmethod
+    def delete(cls, relation: str, row: Sequence) -> "Update":
+        return cls(relation, tuple(row), "delete")
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of maintaining ``⟨A, I_A⟩`` under a batch of updates."""
+
+    applied: int = 0
+    skipped: int = 0
+    #: constraints whose bound was exceeded by some insertion (before adjustment)
+    violated: list[AccessConstraint] = field(default_factory=list)
+    #: old -> new constraint for bounds that were raised by maintain_constraints
+    adjusted: dict[AccessConstraint, AccessConstraint] = field(default_factory=dict)
+    #: work performed, measured in index-entry touches (for the Prop. 12 benchmark)
+    work_units: int = 0
+
+
+def apply_updates(
+    database: Database,
+    indexes: IndexSet,
+    access_schema: AccessSchema,
+    updates: Iterable[Update],
+) -> MaintenanceReport:
+    """Apply ``ΔD`` to the database and incrementally maintain the indexes.
+
+    Each update touches only the index entries of the constraints on its
+    relation, so the total work is ``O(N_A · |ΔD|)`` — independent of ``|D|``.
+    Insertions that would break a constraint's bound are still applied (the
+    data now simply violates that constraint) but recorded in the report.
+    """
+    report = MaintenanceReport()
+    for update in updates:
+        relation = database.relation(update.relation)
+        constraints = access_schema.for_relation(update.relation)
+        # Charge the per-update maintenance budget up front: even a duplicate
+        # insert / missing delete costs the index probes needed to find out,
+        # and Proposition 12's O(N_A·|ΔD|) bound is about attempted updates.
+        report.work_units += sum(c.bound for c in constraints)
+        if update.kind == "insert":
+            if not relation.insert(update.row):
+                report.skipped += 1
+                continue
+            indexes.apply_insert(update.relation, update.row)
+            report.applied += 1
+            for constraint in constraints:
+                index = indexes.get(constraint)
+                if index is None:
+                    continue
+                key = tuple(update.row[relation.schema.position(a)] for a in sorted(constraint.lhs))
+                group = index.lookup(key)
+                distinct_rhs = {
+                    tuple(v[index.columns.index(a)] for a in sorted(constraint.rhs))
+                    for v in group
+                }
+                if len(distinct_rhs) > constraint.bound and constraint not in report.violated:
+                    report.violated.append(constraint)
+        else:
+            if not relation.delete(update.row):
+                report.skipped += 1
+                continue
+            indexes.apply_delete(update.relation, update.row, relation)
+            report.applied += 1
+    return report
+
+
+def maintain_constraints(
+    database: Database,
+    indexes: IndexSet,
+    access_schema: AccessSchema,
+    updates: Iterable[Update],
+    *,
+    headroom: float = 1.0,
+) -> tuple[AccessSchema, MaintenanceReport]:
+    """Apply updates and raise the bounds of constraints the data has outgrown.
+
+    Returns the (possibly) adjusted access schema and the maintenance report.
+    ``headroom`` multiplies the new observed bound, mirroring how policy-style
+    constraints are renegotiated rather than dropped.
+    """
+    report = apply_updates(database, indexes, access_schema, updates)
+    if not report.violated:
+        return access_schema, report
+
+    adjusted = AccessSchema(schema=access_schema.schema)
+    for constraint in access_schema:
+        if constraint in report.violated:
+            relation = database.relation(constraint.relation)
+            observed = relation.group_max_multiplicity(
+                sorted(constraint.lhs), sorted(constraint.rhs)
+            )
+            new_bound = max(constraint.bound, int(round(observed * headroom)))
+            replacement = AccessConstraint(
+                constraint.relation,
+                constraint.lhs,
+                constraint.rhs,
+                new_bound,
+                constraint.name,
+            )
+            adjusted.add(replacement)
+            report.adjusted[constraint] = replacement
+        else:
+            adjusted.add(constraint)
+    return adjusted, report

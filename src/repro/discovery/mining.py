@@ -1,0 +1,146 @@
+"""Access-constraint discovery (Section 7, component C1).
+
+The paper mines access constraints by extending FD-discovery tools: candidate
+attribute sets ``X`` and ``Y`` are searched TANE-style, and for each candidate
+the constraint bound ``N`` is the maximum number of distinct ``Y``-values per
+``X``-value observed on (a sample of) the data, optionally with head-room for
+growth.  Constraints over attributes with a small finite domain (months,
+cities, carrier codes, …) are discovered as ``R(∅ → A, N)``.
+
+The discovery here is deliberately level-wise and prunes non-minimal
+left-hand sides, like TANE, but stops at small LHS sizes: real access
+constraints (and all constraints the paper lists) use one to three attributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.errors import DiscoveryError
+from ..storage.database import Database
+from ..storage.relation import RelationInstance
+
+
+@dataclass
+class DiscoveryConfig:
+    """Tuning knobs for access-constraint discovery.
+
+    ``max_bound`` rejects candidates whose observed bound is too large to be
+    useful (fetching ``N`` tuples per probe must stay cheap); ``max_lhs_size``
+    bounds the level-wise search; ``domain_threshold`` accepts ``∅ → A``
+    constraints for attributes with at most that many distinct values;
+    ``slack`` multiplies observed bounds to leave room for data growth
+    (policy-style constraints such as "at most 5000 friends" are usually
+    supplied by hand instead).
+    """
+
+    max_lhs_size: int = 2
+    max_bound: int = 1000
+    domain_threshold: int = 64
+    slack: float = 1.0
+    max_rhs_size: int = 1
+    include_keys: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_lhs_size < 1:
+            raise DiscoveryError("max_lhs_size must be at least 1")
+        if self.slack < 1.0:
+            raise DiscoveryError("slack must be >= 1.0")
+
+
+def _bounded(observed: int, config: DiscoveryConfig) -> int:
+    return max(1, int(round(observed * config.slack)))
+
+
+def discover_constraints(
+    relation: RelationInstance, config: DiscoveryConfig | None = None
+) -> list[AccessConstraint]:
+    """Discover access constraints holding on one relation instance."""
+    config = config or DiscoveryConfig()
+    schema = relation.schema
+    attributes = list(schema.attributes)
+    constraints: list[AccessConstraint] = []
+
+    # (1) Small-domain constraints R(∅ -> A, N).
+    for attribute in attributes:
+        distinct = relation.distinct_count([attribute])
+        if 0 < distinct <= config.domain_threshold:
+            constraints.append(
+                AccessConstraint.of(
+                    schema.name, (), attribute, _bounded(distinct, config),
+                    name=f"domain:{schema.name}.{attribute}",
+                )
+            )
+
+    # (2) Level-wise search for R(X -> Y, N), pruning dominated candidates.
+    # A candidate with LHS X is kept only if no accepted constraint for the
+    # same RHS has a smaller LHS *and* an equal-or-smaller bound — a larger
+    # LHS is still worth keeping when it tightens the bound (e.g. the paper's
+    # ψ2 with (pid, year, month) → cid, 31 alongside pid → cid, 366).
+    accepted_lhs: dict[str, list[tuple[frozenset[str], int]]] = {}
+    for size in range(1, config.max_lhs_size + 1):
+        for lhs in itertools.combinations(attributes, size):
+            lhs_set = frozenset(lhs)
+            for rhs_size in range(1, config.max_rhs_size + 1):
+                for rhs in itertools.combinations(attributes, rhs_size):
+                    rhs_set = frozenset(rhs)
+                    if rhs_set <= lhs_set:
+                        continue
+                    observed = relation.group_max_multiplicity(sorted(lhs_set), sorted(rhs_set))
+                    if observed == 0 or observed > config.max_bound:
+                        continue
+                    key = ",".join(sorted(rhs_set))
+                    dominated = any(
+                        prev_lhs < lhs_set and prev_bound <= observed
+                        for prev_lhs, prev_bound in accepted_lhs.get(key, ())
+                    )
+                    if dominated:
+                        continue
+                    constraints.append(
+                        AccessConstraint.of(
+                            schema.name,
+                            sorted(lhs_set),
+                            sorted(rhs_set),
+                            _bounded(observed, config),
+                            name=f"mined:{schema.name}",
+                        )
+                    )
+                    accepted_lhs.setdefault(key, []).append((lhs_set, observed))
+
+    # (3) Key constraints R(K -> all attributes, 1) for observed candidate keys.
+    if config.include_keys and len(relation):
+        found_key = False
+        for size in range(1, config.max_lhs_size + 1):
+            if found_key:
+                break
+            for lhs in itertools.combinations(attributes, size):
+                if relation.distinct_count(list(lhs)) == len(relation):
+                    constraints.append(
+                        AccessConstraint.of(
+                            schema.name, sorted(lhs), attributes, 1,
+                            name=f"key:{schema.name}",
+                        )
+                    )
+                    found_key = True
+                    break
+
+    return constraints
+
+
+def discover_access_schema(
+    database: Database,
+    config: DiscoveryConfig | None = None,
+    *,
+    relations: Sequence[str] | None = None,
+) -> AccessSchema:
+    """Discover an access schema over (a subset of) the relations of a database."""
+    config = config or DiscoveryConfig()
+    names = relations if relations is not None else database.relation_names()
+    access_schema = AccessSchema(schema=database.schema)
+    for name in names:
+        for constraint in discover_constraints(database.relation(name), config):
+            access_schema.add(constraint)
+    return access_schema

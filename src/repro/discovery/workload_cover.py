@@ -1,0 +1,186 @@
+"""Selecting access constraints to cover a *workload* of queries.
+
+Section 9 of the paper lists, as future work, "algorithms for discovering a
+(minimum) set of access constraints to cover a workload", with the approach
+of Section 7 as a starting point.  This module implements that extension:
+
+given a workload ``Q1 … Qk`` and a pool of candidate constraints (either
+hand-curated or mined with :mod:`repro.discovery.mining`), greedily select a
+subset that covers as many queries as possible at low estimated access cost
+(``Σ N``), then prune redundant constraints.  The selection problem inherits
+the hardness of AMP (it generalizes it), so a heuristic with a pruning pass
+is the appropriate tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.coverage import CoverageChecker
+from ..core.query import Query
+
+
+@dataclass
+class WorkloadCoverResult:
+    """The outcome of :func:`cover_workload`."""
+
+    selected: AccessSchema
+    covered_queries: tuple[int, ...]
+    uncovered_queries: tuple[int, ...]
+    cost: int
+    iterations: int = 0
+    #: per selected constraint, how many queries' coverage it participated in
+    usefulness: Mapping[AccessConstraint, int] = field(default_factory=dict)
+
+    @property
+    def coverage_ratio(self) -> float:
+        total = len(self.covered_queries) + len(self.uncovered_queries)
+        return len(self.covered_queries) / total if total else 0.0
+
+
+def _coverage_progress(checker: CoverageChecker, schema: AccessSchema) -> tuple[bool, int]:
+    """(is covered, number of covered attribute tokens) — the greedy's gain signal."""
+    result = checker.check(schema)
+    tokens = sum(len(sub.covered_tokens) for sub in result.subqueries)
+    indexed = sum(
+        len(sub.index_choices) for sub in result.subqueries
+    )
+    return result.is_covered, tokens + indexed
+
+
+def cover_workload(
+    queries: Sequence[Query],
+    candidates: AccessSchema | Iterable[AccessConstraint],
+    *,
+    max_constraints: int | None = None,
+    cost_weight: float = 0.0,
+) -> WorkloadCoverResult:
+    """Greedily pick constraints from ``candidates`` to cover the workload.
+
+    Each round adds the constraint with the best gain, where gain is the
+    number of newly covered queries, tie-broken by chase progress (newly
+    covered attributes / newly indexed relations) and penalized by
+    ``cost_weight · N``.  After no further query can be covered, a pruning
+    pass removes constraints whose removal keeps every covered query covered
+    (so the result is *minimal* for the queries it covers).
+    """
+    if isinstance(candidates, AccessSchema):
+        pool = list(candidates)
+        base_schema = candidates.schema
+    else:
+        pool = list(candidates)
+        base_schema = None
+
+    checkers = [CoverageChecker(query) for query in queries]
+    full_schema = AccessSchema(pool, schema=base_schema)
+    coverable = [
+        index for index, checker in enumerate(checkers) if checker.is_covered(full_schema)
+    ]
+
+    selected: list[AccessConstraint] = []
+    iterations = 0
+
+    def covered_with(subset: list[AccessConstraint]) -> set[int]:
+        schema = AccessSchema(subset, schema=base_schema)
+        return {index for index in coverable if checkers[index].is_covered(schema)}
+
+    currently_covered: set[int] = covered_with(selected)
+    while True:
+        iterations += 1
+        if max_constraints is not None and len(selected) >= max_constraints:
+            break
+        remaining = [c for c in pool if c not in selected]
+        if not remaining:
+            break
+        best: AccessConstraint | None = None
+        best_key: tuple[float, float] | None = None
+        for constraint in remaining:
+            candidate_subset = selected + [constraint]
+            schema = AccessSchema(candidate_subset, schema=base_schema)
+            newly_covered = 0
+            progress = 0
+            for index in coverable:
+                if index in currently_covered:
+                    continue
+                is_covered, tokens = _coverage_progress(checkers[index], schema)
+                if is_covered:
+                    newly_covered += 1
+                progress += tokens
+            key = (
+                newly_covered - cost_weight * constraint.bound,
+                progress - cost_weight * constraint.bound,
+            )
+            if best_key is None or key > best_key:
+                best_key = key
+                best = constraint
+        if best is None:
+            break
+        # Stop when nothing improves coverage or chase progress any more.
+        previous_progress = sum(
+            _coverage_progress(checkers[index], AccessSchema(selected, schema=base_schema))[1]
+            for index in coverable
+            if index not in currently_covered
+        )
+        selected.append(best)
+        new_covered = covered_with(selected)
+        new_progress = sum(
+            _coverage_progress(checkers[index], AccessSchema(selected, schema=base_schema))[1]
+            for index in coverable
+            if index not in new_covered
+        )
+        made_progress = (
+            len(new_covered) > len(currently_covered) or new_progress > previous_progress
+        )
+        currently_covered = new_covered
+        if len(currently_covered) == len(coverable):
+            break
+        if not made_progress:
+            selected.pop()
+            break
+
+    # Pruning pass: drop constraints not needed by any covered query.
+    changed = True
+    while changed:
+        changed = False
+        for constraint in list(selected):
+            reduced = [c for c in selected if c != constraint]
+            if covered_with(reduced) >= currently_covered:
+                selected = reduced
+                changed = True
+
+    final_schema = AccessSchema(selected, schema=base_schema)
+    usefulness: dict[AccessConstraint, int] = {}
+    for constraint in selected:
+        reduced = AccessSchema([c for c in selected if c != constraint], schema=base_schema)
+        usefulness[constraint] = sum(
+            1
+            for index in currently_covered
+            if not checkers[index].is_covered(reduced)
+        )
+    uncovered = tuple(
+        index for index in range(len(queries)) if index not in currently_covered
+    )
+    return WorkloadCoverResult(
+        selected=final_schema,
+        covered_queries=tuple(sorted(currently_covered)),
+        uncovered_queries=uncovered,
+        cost=sum(c.bound for c in selected),
+        iterations=iterations,
+        usefulness=usefulness,
+    )
+
+
+def cover_workload_from_data(
+    queries: Sequence[Query],
+    database,
+    *,
+    discovery_config=None,
+    **kwargs,
+) -> WorkloadCoverResult:
+    """Mine candidate constraints from ``database`` and cover the workload with them."""
+    from .mining import discover_access_schema
+
+    candidates = discover_access_schema(database, discovery_config)
+    return cover_workload(queries, candidates, **kwargs)

@@ -1,0 +1,17 @@
+"""Query evaluation: reference RA semantics, the DBMS baseline, and the plan executor."""
+
+from .algebra import AlgebraEvaluator, ResultSet, evaluate
+from .baseline import BaselineResult, ConventionalEvaluator, evaluate_conventional
+from .executor import ExecutionResult, PlanExecutor, execute_plan
+
+__all__ = [
+    "AlgebraEvaluator",
+    "BaselineResult",
+    "ConventionalEvaluator",
+    "ExecutionResult",
+    "PlanExecutor",
+    "ResultSet",
+    "evaluate",
+    "evaluate_conventional",
+    "execute_plan",
+]

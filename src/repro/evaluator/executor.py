@@ -1,0 +1,212 @@
+"""Execution of bounded query plans (``evalQP``).
+
+The executor runs a :class:`~repro.core.plan.BoundedPlan` against a database
+whose constraint indexes have been materialized as an
+:class:`~repro.storage.index.IndexSet`.  Data is accessed **only** through
+``fetch`` steps (index lookups); every access is recorded on an
+:class:`~repro.storage.counters.AccessCounter`, so the measured ``|D_Q|`` of
+the experiments is exact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.access import AccessConstraint
+from ..core.errors import PlanError
+from ..core.plan import (
+    BoundedPlan,
+    ColumnPredicate,
+    ColumnRef,
+    ConstOp,
+    DifferenceOp,
+    FetchOp,
+    IntersectOp,
+    PlanStep,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    SelectOp,
+    UnionOp,
+    UnitOp,
+)
+from ..storage.counters import AccessCounter
+from ..storage.database import Database
+from ..storage.index import ConstraintIndex, IndexSet
+from .algebra import ResultSet, _compare
+
+Row = tuple
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of executing a bounded plan."""
+
+    result: ResultSet
+    counter: AccessCounter
+    elapsed: float
+    step_cardinalities: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.result.columns
+
+    def access_ratio(self, database_size: int) -> float:
+        """``P(D_Q)`` — fraction of the database accessed by this execution."""
+        return self.counter.ratio(database_size)
+
+
+class PlanExecutor:
+    """Executes bounded plans against a database through its constraint indexes."""
+
+    def __init__(self, database: Database, indexes: IndexSet):
+        self.database = database
+        self.indexes = indexes
+
+    def execute(
+        self, plan: BoundedPlan, counter: AccessCounter | None = None
+    ) -> ExecutionResult:
+        """Run ``plan`` and return its result with exact access accounting."""
+        counter = counter if counter is not None else AccessCounter()
+        started = time.perf_counter()
+        results: dict[int, ResultSet] = {}
+        cardinalities: dict[int, int] = {}
+        for step in plan.steps:
+            results[step.id] = self._execute_step(plan, step, results, counter)
+            cardinalities[step.id] = len(results[step.id])
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            result=results[plan.output],
+            counter=counter,
+            elapsed=elapsed,
+            step_cardinalities=cardinalities,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_step(
+        self,
+        plan: BoundedPlan,
+        step: PlanStep,
+        results: Mapping[int, ResultSet],
+        counter: AccessCounter,
+    ) -> ResultSet:
+        op = step.op
+        if isinstance(op, ConstOp):
+            return ResultSet(columns=(op.column,), rows=frozenset({(op.value,)}))
+        if isinstance(op, UnitOp):
+            return ResultSet(columns=(), rows=frozenset({()}))
+        if isinstance(op, FetchOp):
+            return self._execute_fetch(plan, step, results[op.inputs[0]], counter)
+        if isinstance(op, ProjectOp):
+            source = results[op.inputs[0]]
+            positions = [source.column_position(c) for c in op.columns]
+            names = op.output_names if op.output_names is not None else op.columns
+            rows = frozenset(tuple(row[p] for p in positions) for row in source.rows)
+            return ResultSet(columns=tuple(names), rows=rows)
+        if isinstance(op, SelectOp):
+            source = results[op.inputs[0]]
+            matcher = _compile_predicates(op.predicates, source.columns)
+            return ResultSet(source.columns, frozenset(r for r in source.rows if matcher(r)))
+        if isinstance(op, RenameOp):
+            source = results[op.inputs[0]]
+            columns = tuple(op.mapping.get(c, c) for c in source.columns)
+            return ResultSet(columns, source.rows)
+        if isinstance(op, ProductOp):
+            left, right = results[op.inputs[0]], results[op.inputs[1]]
+            columns = left.columns + right.columns
+            rows = frozenset(l + r for l in left.rows for r in right.rows)
+            return ResultSet(columns, rows)
+        if isinstance(op, UnionOp):
+            left, right = results[op.inputs[0]], results[op.inputs[1]]
+            self._check_arity(left, right, step)
+            return ResultSet(left.columns, left.rows | right.rows)
+        if isinstance(op, DifferenceOp):
+            left, right = results[op.inputs[0]], results[op.inputs[1]]
+            self._check_arity(left, right, step)
+            return ResultSet(left.columns, left.rows - right.rows)
+        if isinstance(op, IntersectOp):
+            left, right = results[op.inputs[0]], results[op.inputs[1]]
+            self._check_arity(left, right, step)
+            return ResultSet(left.columns, left.rows & right.rows)
+        raise PlanError(f"unknown plan operator {type(op).__name__} in step T{step.id}")
+
+    @staticmethod
+    def _check_arity(left: ResultSet, right: ResultSet, step: PlanStep) -> None:
+        if len(left.columns) != len(right.columns):
+            raise PlanError(
+                f"step T{step.id}: operands have arities {len(left.columns)} and "
+                f"{len(right.columns)}"
+            )
+
+    def _execute_fetch(
+        self,
+        plan: BoundedPlan,
+        step: PlanStep,
+        source: ResultSet,
+        counter: AccessCounter,
+    ) -> ResultSet:
+        op: FetchOp = step.op  # type: ignore[assignment]
+        index = self._resolve_index(plan, op.constraint)
+        key_positions = [source.column_position(c) for c in op.key_columns]
+        fetched: set[Row] = set()
+        seen_keys: set[Row] = set()
+        for row in source.rows:
+            key = tuple(row[p] for p in key_positions)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            fetched.update(index.lookup(key, counter))
+        # Index tuples are aligned with sorted(lhs | rhs); so are the step's columns.
+        return ResultSet(columns=step.columns, rows=frozenset(fetched))
+
+    def _resolve_index(self, plan: BoundedPlan, constraint: AccessConstraint) -> ConstraintIndex:
+        """Map an actualized constraint back to the physical index of its base relation."""
+        base = plan.occurrences.get(constraint.relation, constraint.relation)
+        index = self.indexes.get(constraint)
+        if index is not None:
+            return index
+        index = self.indexes.find(base, constraint.lhs, constraint.rhs)
+        if index is None:
+            raise PlanError(
+                f"no index available for constraint {constraint} (base relation {base!r}); "
+                "build an IndexSet for the access schema first"
+            )
+        return index
+
+
+def _compile_predicates(
+    predicates: Sequence[ColumnPredicate], columns: Sequence[str]
+):
+    compiled: list[tuple[int, str, object, int | None]] = []
+    columns_list = list(columns)
+    for predicate in predicates:
+        left = columns_list.index(predicate.left)
+        if isinstance(predicate.right, ColumnRef):
+            compiled.append((left, predicate.op, None, columns_list.index(predicate.right.column)))
+        else:
+            compiled.append((left, predicate.op, predicate.right, None))
+
+    def matches(row: Row) -> bool:
+        for left_pos, op, constant, right_pos in compiled:
+            right_value = row[right_pos] if right_pos is not None else constant
+            if not _compare(row[left_pos], op, right_value):
+                return False
+        return True
+
+    return matches
+
+
+def execute_plan(
+    plan: BoundedPlan,
+    database: Database,
+    indexes: IndexSet,
+    counter: AccessCounter | None = None,
+) -> ExecutionResult:
+    """Convenience wrapper around :class:`PlanExecutor`."""
+    return PlanExecutor(database, indexes).execute(plan, counter)

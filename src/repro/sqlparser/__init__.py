@@ -1,0 +1,34 @@
+"""A hand-written parser for the SQL subset used by the examples and workloads.
+
+Supports ``SELECT [DISTINCT] … FROM … [JOIN … ON …] [WHERE …]`` blocks
+combined with ``UNION`` and ``EXCEPT``, and translates them into the RA query
+AST of :mod:`repro.core.query`.
+"""
+
+from .ast import (
+    ColumnExpr,
+    ComparisonExpr,
+    JoinClause,
+    LiteralExpr,
+    SelectStatement,
+    SetOperation,
+    TableRef,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_sql, parse_statement, to_query
+
+__all__ = [
+    "ColumnExpr",
+    "ComparisonExpr",
+    "JoinClause",
+    "LiteralExpr",
+    "SelectStatement",
+    "SetOperation",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "parse_sql",
+    "parse_statement",
+    "to_query",
+    "tokenize",
+]

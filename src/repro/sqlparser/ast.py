@@ -1,0 +1,80 @@
+"""Abstract syntax for the parsed SQL subset (before translation to RA)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ColumnExpr:
+    """A column reference, optionally qualified: ``alias.column`` or ``column``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class LiteralExpr:
+    """A string or numeric literal."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """``left op right`` where either side is a column or a literal."""
+
+    left: ColumnExpr | LiteralExpr
+    op: str
+    right: ColumnExpr | LiteralExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause, with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        """The occurrence name this table is referred to by."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN <table> ON <condition>`` attached to the preceding FROM items."""
+
+    table: TableRef
+    condition: tuple[ComparisonExpr, ...]
+
+
+@dataclass
+class SelectStatement:
+    """One SELECT block."""
+
+    columns: Sequence[ColumnExpr] | None  # None means SELECT *
+    from_tables: list[TableRef] = field(default_factory=list)
+    joins: list[JoinClause] = field(default_factory=list)
+    where: tuple[ComparisonExpr, ...] = ()
+    distinct: bool = True
+
+
+@dataclass
+class SetOperation:
+    """``left UNION right`` or ``left EXCEPT right`` (left-associative chains)."""
+
+    operator: str  # "union" | "except"
+    left: "SelectStatement | SetOperation"
+    right: "SelectStatement | SetOperation"

@@ -1,0 +1,144 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "or",
+    "join",
+    "inner",
+    "on",
+    "as",
+    "union",
+    "except",
+    "intersect",
+    "not",
+    "in",
+    "all",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+PUNCTUATION = (",", "(", ")", ".", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its position in the input text."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on unexpected characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+
+    while position < length:
+        char = text[position]
+
+        if char.isspace():
+            position += 1
+            continue
+
+        if char == "-" and text[position : position + 2] == "--":
+            end = text.find("\n", position)
+            position = length if end == -1 else end + 1
+            continue
+
+        if char == "'":
+            end = position + 1
+            buffer: list[str] = []
+            while end < length:
+                if text[end] == "'" and end + 1 < length and text[end + 1] == "'":
+                    buffer.append("'")
+                    end += 2
+                    continue
+                if text[end] == "'":
+                    break
+                buffer.append(text[end])
+                end += 1
+            else:
+                raise ParseError("unterminated string literal", position, text)
+            tokens.append(Token(TokenType.STRING, "".join(buffer), position))
+            position = end + 1
+            continue
+
+        if char == '"':
+            end = text.find('"', position + 1)
+            if end == -1:
+                raise ParseError("unterminated quoted identifier", position, text)
+            tokens.append(Token(TokenType.IDENTIFIER, text[position + 1 : end], position))
+            position = end + 1
+            continue
+
+        if char.isdigit():
+            end = position
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is qualification, not a decimal point.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[position:end], position))
+            position = end
+            continue
+
+        matched_operator = next(
+            (op for op in OPERATORS if text.startswith(op, position)), None
+        )
+        if matched_operator:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, position))
+            position += len(matched_operator)
+            continue
+
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, position))
+            position += 1
+            continue
+
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            token_type = TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(token_type, word, position))
+            position = end
+            continue
+
+        raise ParseError(f"unexpected character {char!r}", position, text)
+
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,262 @@
+"""Recursive-descent parser for the SQL subset, plus translation to RA.
+
+``parse_sql(text, schema)`` is the one-stop entry point: it tokenizes,
+parses, and translates into the :mod:`repro.core.query` AST, resolving
+unqualified column names against the FROM clause and the database schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import ParseError, QueryError
+from ..core.query import (
+    Comparison,
+    Constant,
+    Difference,
+    Join,
+    Predicate,
+    Projection,
+    Query,
+    Relation,
+    Selection,
+    Union,
+    conjunction,
+)
+from ..core.schema import Attribute, DatabaseSchema
+from .ast import (
+    ColumnExpr,
+    ComparisonExpr,
+    JoinClause,
+    LiteralExpr,
+    SelectStatement,
+    SetOperation,
+    TableRef,
+)
+from .lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers -----------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        if not self.current.matches(token_type, value):
+            expected = value or token_type.value
+            raise ParseError(
+                f"expected {expected!r} but found {self.current.value!r}",
+                self.current.position,
+                self.text,
+            )
+        return self.advance()
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self.current.matches(token_type, value):
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------------
+    def parse(self) -> SelectStatement | SetOperation:
+        statement = self.parse_set_expression()
+        self.accept(TokenType.PUNCTUATION, ";")
+        self.expect(TokenType.EOF)
+        return statement
+
+    def parse_set_expression(self) -> SelectStatement | SetOperation:
+        left = self.parse_select_block()
+        while self.current.matches(TokenType.KEYWORD, "union") or self.current.matches(
+            TokenType.KEYWORD, "except"
+        ):
+            operator = self.advance().value.lower()
+            self.accept(TokenType.KEYWORD, "all")
+            right = self.parse_select_block()
+            left = SetOperation(operator=operator, left=left, right=right)
+        return left
+
+    def parse_select_block(self) -> SelectStatement | SetOperation:
+        if self.accept(TokenType.PUNCTUATION, "("):
+            inner = self.parse_set_expression()
+            self.expect(TokenType.PUNCTUATION, ")")
+            return inner
+        return self.parse_select()
+
+    def parse_select(self) -> SelectStatement:
+        self.expect(TokenType.KEYWORD, "select")
+        distinct = bool(self.accept(TokenType.KEYWORD, "distinct"))
+        columns = self.parse_select_list()
+        self.expect(TokenType.KEYWORD, "from")
+        from_tables, joins = self.parse_from()
+        where: tuple[ComparisonExpr, ...] = ()
+        if self.accept(TokenType.KEYWORD, "where"):
+            where = tuple(self.parse_condition())
+        return SelectStatement(
+            columns=columns,
+            from_tables=from_tables,
+            joins=joins,
+            where=where,
+            distinct=distinct,
+        )
+
+    def parse_select_list(self) -> list[ColumnExpr] | None:
+        if self.accept(TokenType.PUNCTUATION, "*"):
+            return None
+        columns = [self.parse_column()]
+        while self.accept(TokenType.PUNCTUATION, ","):
+            columns.append(self.parse_column())
+        return columns
+
+    def parse_from(self) -> tuple[list[TableRef], list[JoinClause]]:
+        tables = [self.parse_table_ref()]
+        joins: list[JoinClause] = []
+        while True:
+            if self.accept(TokenType.PUNCTUATION, ","):
+                tables.append(self.parse_table_ref())
+                continue
+            if self.current.matches(TokenType.KEYWORD, "inner") or self.current.matches(
+                TokenType.KEYWORD, "join"
+            ):
+                self.accept(TokenType.KEYWORD, "inner")
+                self.expect(TokenType.KEYWORD, "join")
+                table = self.parse_table_ref()
+                self.expect(TokenType.KEYWORD, "on")
+                condition = tuple(self.parse_condition())
+                joins.append(JoinClause(table=table, condition=condition))
+                continue
+            break
+        return tables, joins
+
+    def parse_table_ref(self) -> TableRef:
+        table = self.expect(TokenType.IDENTIFIER).value
+        alias: str | None = None
+        if self.accept(TokenType.KEYWORD, "as"):
+            alias = self.expect(TokenType.IDENTIFIER).value
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return TableRef(table=table, alias=alias)
+
+    def parse_condition(self) -> list[ComparisonExpr]:
+        atoms = [self.parse_comparison()]
+        while self.accept(TokenType.KEYWORD, "and"):
+            atoms.append(self.parse_comparison())
+        return atoms
+
+    def parse_comparison(self) -> ComparisonExpr:
+        left = self.parse_term()
+        operator_token = self.expect(TokenType.OPERATOR)
+        operator = "!=" if operator_token.value == "<>" else operator_token.value
+        right = self.parse_term()
+        return ComparisonExpr(left=left, op=operator, right=right)
+
+    def parse_term(self) -> ColumnExpr | LiteralExpr:
+        if self.current.type is TokenType.STRING:
+            return LiteralExpr(self.advance().value)
+        if self.current.type is TokenType.NUMBER:
+            raw = self.advance().value
+            return LiteralExpr(float(raw) if "." in raw else int(raw))
+        return self.parse_column()
+
+    def parse_column(self) -> ColumnExpr:
+        first = self.expect(TokenType.IDENTIFIER).value
+        if self.accept(TokenType.PUNCTUATION, "."):
+            second = self.expect(TokenType.IDENTIFIER).value
+            return ColumnExpr(name=second, table=first)
+        return ColumnExpr(name=first)
+
+
+def parse_statement(text: str) -> SelectStatement | SetOperation:
+    """Parse SQL text into the intermediate SQL AST (no schema needed)."""
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Translation to RA
+# ---------------------------------------------------------------------------
+
+def to_query(statement: SelectStatement | SetOperation, schema: DatabaseSchema) -> Query:
+    """Translate a parsed statement into the RA query AST."""
+    if isinstance(statement, SetOperation):
+        left = to_query(statement.left, schema)
+        right = to_query(statement.right, schema)
+        if statement.operator == "union":
+            return Union(left, right)
+        return Difference(left, right)
+    return _select_to_query(statement, schema)
+
+
+def _select_to_query(statement: SelectStatement, schema: DatabaseSchema) -> Query:
+    relations: dict[str, Relation] = {}
+    query: Query | None = None
+
+    def add_table(ref: TableRef) -> Relation:
+        if ref.name in relations:
+            raise ParseError(f"duplicate table occurrence {ref.name!r} in FROM clause")
+        relation = Relation(ref.name, schema[ref.table].attributes, base=ref.table)
+        relations[ref.name] = relation
+        return relation
+
+    for ref in statement.from_tables:
+        relation = add_table(ref)
+        query = relation if query is None else query.product(relation)
+    assert query is not None
+
+    def resolve(column: ColumnExpr) -> Attribute:
+        if column.table is not None:
+            if column.table not in relations:
+                raise ParseError(f"unknown table alias {column.table!r}")
+            return relations[column.table][column.name]
+        matches = [
+            rel[column.name]
+            for rel in relations.values()
+            if column.name in rel.attribute_names
+        ]
+        if not matches:
+            raise ParseError(f"unknown column {column.name!r}")
+        if len(matches) > 1:
+            raise ParseError(f"ambiguous column {column.name!r}")
+        return matches[0]
+
+    def to_predicate(atoms: Sequence[ComparisonExpr]) -> Predicate:
+        comparisons = []
+        for atom in atoms:
+            left = resolve(atom.left) if isinstance(atom.left, ColumnExpr) else Constant(atom.left.value)
+            right = (
+                resolve(atom.right) if isinstance(atom.right, ColumnExpr) else Constant(atom.right.value)
+            )
+            comparisons.append(Comparison(left, atom.op, right))
+        combined = conjunction(comparisons)
+        assert combined is not None
+        return combined
+
+    for join in statement.joins:
+        relation = add_table(join.table)
+        condition = to_predicate(join.condition)
+        query = Join(query, relation, condition)
+
+    if statement.where:
+        query = Selection(query, to_predicate(statement.where))
+
+    if statement.columns is not None:
+        query = Projection(query, [resolve(c) for c in statement.columns])
+    return query
+
+
+def parse_sql(text: str, schema: DatabaseSchema) -> Query:
+    """Parse SQL text and translate it into an RA query over ``schema``."""
+    try:
+        return to_query(parse_statement(text), schema)
+    except QueryError as error:
+        raise ParseError(str(error)) from error

@@ -1,0 +1,17 @@
+"""The in-memory storage substrate: relations, databases, and constraint indexes."""
+
+from .counters import AccessCounter
+from .database import Database
+from .index import ConstraintIndex, IndexSet
+from .relation import RelationInstance
+from .statistics import DatabaseStatistics, RelationStatistics
+
+__all__ = [
+    "AccessCounter",
+    "ConstraintIndex",
+    "Database",
+    "DatabaseStatistics",
+    "IndexSet",
+    "RelationInstance",
+    "RelationStatistics",
+]

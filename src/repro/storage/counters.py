@@ -1,0 +1,61 @@
+"""Data-access accounting.
+
+The central claim of bounded evaluability is about *how much data is
+accessed*, so every component that touches tuples (index lookups, relation
+scans, fetch execution) reports to an :class:`AccessCounter`.  The counters
+feed the ``P(D_Q) = |D_Q| / |D|`` ratios reported by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessCounter:
+    """Counts tuples accessed, broken down by mechanism.
+
+    ``fetched`` counts tuples retrieved through constraint indexes (the only
+    access mechanism a bounded plan may use); ``scanned`` counts tuples read
+    by full relation scans (used by the conventional baseline); ``index_probes``
+    counts the number of index lookups issued.
+    """
+
+    fetched: int = 0
+    scanned: int = 0
+    index_probes: int = 0
+    per_relation: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Total tuples accessed by any mechanism (the ``|D_Q|`` of the paper)."""
+        return self.fetched + self.scanned
+
+    def record_fetch(self, relation: str, count: int) -> None:
+        self.fetched += count
+        self.index_probes += 1
+        self.per_relation[relation] = self.per_relation.get(relation, 0) + count
+
+    def record_scan(self, relation: str, count: int) -> None:
+        self.scanned += count
+        self.per_relation[relation] = self.per_relation.get(relation, 0) + count
+
+    def reset(self) -> None:
+        self.fetched = 0
+        self.scanned = 0
+        self.index_probes = 0
+        self.per_relation.clear()
+
+    def merge(self, other: "AccessCounter") -> None:
+        """Fold another counter into this one (used when combining sub-runs)."""
+        self.fetched += other.fetched
+        self.scanned += other.scanned
+        self.index_probes += other.index_probes
+        for relation, count in other.per_relation.items():
+            self.per_relation[relation] = self.per_relation.get(relation, 0) + count
+
+    def ratio(self, database_size: int) -> float:
+        """``P(D_Q)``: the fraction of the database accessed."""
+        if database_size <= 0:
+            return 0.0
+        return self.total / database_size

@@ -1,0 +1,225 @@
+"""Constraint indexes (Section 7, "Building indices I_A").
+
+For each access constraint ``R(X → Y, N)`` the framework materializes the
+partial table ``T_XY = π_{XY}(D_R)`` hashed on ``X``.  Given an ``X``-value,
+the index returns the distinct ``XY``-values by accessing at most ``N``
+tuples.  :class:`IndexSet` manages the indexes of a whole access schema,
+checks that the data actually satisfies the constraints, and supports the
+bounded incremental maintenance of Proposition 12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.errors import ConstraintViolation, StorageError
+from .counters import AccessCounter
+from .relation import RelationInstance, Row
+
+
+class ConstraintIndex:
+    """The hash index of one access constraint over one relation instance."""
+
+    def __init__(self, constraint: AccessConstraint, relation: RelationInstance):
+        if constraint.relation != relation.schema.name:
+            raise StorageError(
+                f"constraint {constraint} does not apply to relation {relation.schema.name!r}"
+            )
+        self.constraint = constraint
+        self.relation_name = relation.schema.name
+        self.lhs = tuple(sorted(constraint.lhs))
+        self.rhs = tuple(sorted(constraint.rhs))
+        self.columns = tuple(sorted(constraint.lhs | constraint.rhs))
+        self._lhs_positions = relation.schema.positions(self.lhs)
+        self._column_positions = relation.schema.positions(self.columns)
+        self._entries: dict[Row, set[Row]] = {}
+        for row in relation:
+            self._add_row(row)
+
+    # -- maintenance ---------------------------------------------------------------
+    def _key(self, row: Row) -> Row:
+        return tuple(row[p] for p in self._lhs_positions)
+
+    def _value(self, row: Row) -> Row:
+        return tuple(row[p] for p in self._column_positions)
+
+    def _add_row(self, row: Row) -> None:
+        self._entries.setdefault(self._key(row), set()).add(self._value(row))
+
+    def add_row(self, row: Row) -> None:
+        """Reflect an inserted base-relation tuple in the index (O(1))."""
+        self._add_row(row)
+
+    def remove_row(self, row: Row, relation: RelationInstance | None = None) -> None:
+        """Reflect a deleted base-relation tuple in the index.
+
+        The projected ``XY``-value is only dropped when no remaining tuple of
+        the relation still projects to it; pass the relation instance to make
+        that check (costs a scan of the group, bounded by ``N`` under the
+        constraint plus duplicates).
+        """
+        key = self._key(row)
+        values = self._entries.get(key)
+        if not values:
+            return
+        value = self._value(row)
+        if relation is not None:
+            still_present = any(
+                self._key(other) == key and self._value(other) == value
+                for other in relation
+                if other != row
+            )
+            if still_present:
+                return
+        values.discard(value)
+        if not values:
+            del self._entries[key]
+
+    # -- lookups --------------------------------------------------------------------
+    def lookup(self, key: Sequence, counter: AccessCounter | None = None) -> tuple[Row, ...]:
+        """``D_XY(X = key)``: distinct ``XY``-values for a given ``X``-value.
+
+        Each returned tuple is aligned with :attr:`columns`.  At most ``N``
+        tuples are accessed when the data satisfies the constraint; the access
+        is recorded on ``counter`` if provided.
+        """
+        values = self._entries.get(tuple(key), ())
+        result = tuple(values)
+        if counter is not None:
+            counter.record_fetch(self.relation_name, len(result))
+        return result
+
+    def keys(self) -> Iterator[Row]:
+        return iter(self._entries)
+
+    # -- size and consistency -----------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        """Number of distinct ``X``-values indexed."""
+        return len(self._entries)
+
+    @property
+    def size(self) -> int:
+        """Number of ``XY``-tuples stored (the index footprint used in Exp-1(IV))."""
+        return sum(len(values) for values in self._entries.values())
+
+    @property
+    def cell_size(self) -> int:
+        """Number of value cells stored (tuples × width), comparable to byte footprints."""
+        return self.size * len(self.columns)
+
+    def max_group_size(self) -> int:
+        if not self._entries:
+            return 0
+        return max(len(values) for values in self._entries.values())
+
+    def check(self) -> None:
+        """Raise :class:`ConstraintViolation` if some group exceeds the bound ``N``."""
+        for key, values in self._entries.items():
+            distinct_rhs = {
+                tuple(v[self.columns.index(a)] for a in self.rhs) for v in values
+            }
+            if len(distinct_rhs) > self.constraint.bound:
+                raise ConstraintViolation(self.constraint, key, len(distinct_rhs))
+
+
+class IndexSet:
+    """All constraint indexes of an access schema over a database.
+
+    Construction cost is ``O(||A|| · |D|)`` and the total size is at most
+    ``O(||A|| · |D|)``, as stated in Section 7.  Lookups share one
+    :class:`AccessCounter` unless the caller supplies its own.
+    """
+
+    def __init__(self, counter: AccessCounter | None = None):
+        self._indexes: dict[AccessConstraint, ConstraintIndex] = {}
+        self.counter = counter if counter is not None else AccessCounter()
+
+    @classmethod
+    def build(
+        cls,
+        database: "Database",
+        access_schema: AccessSchema,
+        *,
+        check: bool = True,
+        counter: AccessCounter | None = None,
+    ) -> "IndexSet":
+        """Build indexes for every constraint of ``access_schema`` over ``database``."""
+        from .database import Database  # local import to avoid a cycle
+
+        if not isinstance(database, Database):  # pragma: no cover - defensive
+            raise StorageError("IndexSet.build expects a Database")
+        index_set = cls(counter=counter)
+        for constraint in access_schema:
+            relation = database.relation(constraint.relation)
+            index = ConstraintIndex(constraint, relation)
+            if check:
+                index.check()
+            index_set._indexes[constraint] = index
+        return index_set
+
+    # -- protocol -------------------------------------------------------------------
+    def __contains__(self, constraint: AccessConstraint) -> bool:
+        return constraint in self._indexes
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self) -> Iterator[ConstraintIndex]:
+        return iter(self._indexes.values())
+
+    def index_for(self, constraint: AccessConstraint) -> ConstraintIndex:
+        try:
+            return self._indexes[constraint]
+        except KeyError:
+            raise StorageError(f"no index built for constraint {constraint}") from None
+
+    def get(self, constraint: AccessConstraint) -> ConstraintIndex | None:
+        return self._indexes.get(constraint)
+
+    def find(
+        self, relation: str, lhs: Iterable[str], rhs: Iterable[str]
+    ) -> ConstraintIndex | None:
+        """Find an index matching a (possibly actualized) constraint shape.
+
+        Actualized constraints keep the bound and attribute sets of the base
+        constraint but rename the relation; this lookup lets the executor map
+        them back to the physical index built on the base relation.
+        """
+        lhs_set, rhs_set = frozenset(lhs), frozenset(rhs)
+        for constraint, index in self._indexes.items():
+            if (
+                constraint.relation == relation
+                and constraint.lhs == lhs_set
+                and constraint.rhs == rhs_set
+            ):
+                return index
+        return None
+
+    # -- size ------------------------------------------------------------------------
+    @property
+    def total_size(self) -> int:
+        """Total number of tuples across all index partial tables."""
+        return sum(index.size for index in self._indexes.values())
+
+    @property
+    def total_cell_size(self) -> int:
+        """Total number of value cells across all index partial tables."""
+        return sum(index.cell_size for index in self._indexes.values())
+
+    def size_report(self) -> dict[str, int]:
+        return {str(constraint): index.size for constraint, index in self._indexes.items()}
+
+    # -- incremental maintenance (Proposition 12) ----------------------------------------
+    def apply_insert(self, relation: str, row: Row) -> None:
+        """Update all indexes of ``relation`` after a tuple insertion (O(N_A) per tuple)."""
+        for constraint, index in self._indexes.items():
+            if constraint.relation == relation:
+                index.add_row(row)
+
+    def apply_delete(self, relation: str, row: Row, instance: RelationInstance | None = None) -> None:
+        """Update all indexes of ``relation`` after a tuple deletion."""
+        for constraint, index in self._indexes.items():
+            if constraint.relation == relation:
+                index.remove_row(row, instance)

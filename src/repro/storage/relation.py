@@ -1,0 +1,145 @@
+"""In-memory relation instances.
+
+Tuples are stored positionally (aligned with the relation schema's attribute
+order) under set semantics: inserting a duplicate row is a no-op, matching
+the relational model the paper works in.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.errors import StorageError
+from ..core.schema import RelationSchema
+
+Row = tuple
+
+
+class RelationInstance:
+    """An instance of a relation schema: a set of positional tuples."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence] = ()):
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._row_set: set[Row] = set()
+        self.insert_many(rows)
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, row: Sequence | Mapping[str, object]) -> bool:
+        """Insert one tuple; returns ``True`` if the tuple was new.
+
+        Accepts either a positional sequence (aligned with the schema) or a
+        mapping from attribute names to values.
+        """
+        prepared = self._prepare(row)
+        if prepared in self._row_set:
+            return False
+        self._rows.append(prepared)
+        self._row_set.add(prepared)
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence | Mapping[str, object]]) -> int:
+        """Insert several tuples; returns the number actually added."""
+        added = 0
+        for row in rows:
+            if self.insert(row):
+                added += 1
+        return added
+
+    def delete(self, row: Sequence | Mapping[str, object]) -> bool:
+        """Delete one tuple; returns ``True`` if it was present."""
+        prepared = self._prepare(row)
+        if prepared not in self._row_set:
+            return False
+        self._row_set.discard(prepared)
+        self._rows.remove(prepared)
+        return True
+
+    def _prepare(self, row: Sequence | Mapping[str, object]) -> Row:
+        if isinstance(row, Mapping):
+            missing = [a for a in self.schema.attributes if a not in row]
+            if missing:
+                raise StorageError(
+                    f"row for {self.schema.name!r} is missing attributes {missing}"
+                )
+            return tuple(row[a] for a in self.schema.attributes)
+        prepared = tuple(row)
+        if len(prepared) != len(self.schema):
+            raise StorageError(
+                f"row of arity {len(prepared)} does not match relation "
+                f"{self.schema.name!r} of arity {len(self.schema)}"
+            )
+        return prepared
+
+    # -- access -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence | Mapping[str, object]) -> bool:
+        return self._prepare(row) in self._row_set
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """All rows as attribute-name dictionaries (handy in tests and examples)."""
+        return [dict(zip(self.schema.attributes, row)) for row in self._rows]
+
+    # -- simple per-relation operations --------------------------------------------
+    def project(self, attributes: Sequence[str]) -> set[Row]:
+        """Distinct projections of the rows onto ``attributes``."""
+        positions = self.schema.positions(attributes)
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def distinct_count(self, attributes: Sequence[str]) -> int:
+        return len(self.project(attributes))
+
+    def group_max_multiplicity(
+        self, lhs: Sequence[str], rhs: Sequence[str]
+    ) -> int:
+        """``max over lhs-values of |distinct rhs-values|`` — the observed ``N``.
+
+        This is the statistic access-constraint discovery computes to decide
+        the bound of a candidate constraint ``R(lhs → rhs, N)``.
+        """
+        lhs_positions = self.schema.positions(lhs)
+        rhs_positions = self.schema.positions(rhs)
+        groups: dict[Row, set[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in lhs_positions)
+            value = tuple(row[p] for p in rhs_positions)
+            groups.setdefault(key, set()).add(value)
+        if not groups:
+            return 0
+        return max(len(values) for values in groups.values())
+
+    # -- persistence ------------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> None:
+        """Write the relation to a CSV file with a header row."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.schema.attributes)
+            writer.writerows(self._rows)
+
+    @classmethod
+    def from_csv(cls, schema: RelationSchema, path: str | Path) -> "RelationInstance":
+        """Load a relation from a CSV file written by :meth:`to_csv`."""
+        instance = cls(schema)
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return instance
+            if tuple(header) != schema.attributes:
+                raise StorageError(
+                    f"CSV header {header} does not match schema {list(schema.attributes)}"
+                )
+            for row in reader:
+                instance.insert(tuple(row))
+        return instance

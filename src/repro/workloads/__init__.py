@@ -1,0 +1,27 @@
+"""Experiment workloads: schemas, access constraints, data generators, query generators.
+
+``AIRCA``, ``TFACC`` and ``MCBM`` are synthetic, constraint-faithful stand-ins
+for the paper's datasets; ``facebook`` is the running example of Section 1.
+"""
+
+from . import airca, facebook, mcbm, tfacc
+from .base import WorkloadSpec
+from .generator import QueryParameters, RandomQueryGenerator
+
+#: The three experiment workloads of Section 8, by name.
+WORKLOADS = {
+    "AIRCA": airca.WORKLOAD,
+    "TFACC": tfacc.WORKLOAD,
+    "MCBM": mcbm.WORKLOAD,
+}
+
+__all__ = [
+    "QueryParameters",
+    "RandomQueryGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "airca",
+    "facebook",
+    "mcbm",
+    "tfacc",
+]

@@ -1,0 +1,204 @@
+"""AIRCA — US air-carrier workload (synthetic stand-in for the 60 GB dataset).
+
+The paper's AIRCA combines Flight On-Time Performance and Carrier Statistics
+data (7 tables, 358 attributes, 162 M tuples).  This module reproduces the
+*structure* the experiments rely on: the same kinds of relations, the access
+constraints the paper quotes (e.g. ``OnTimePerformance(Origin → AirlineID,
+28)``), and a generator whose output satisfies every constraint at any scale,
+so that access ratios and scaling behaviour can be measured faithfully on a
+laptop-sized instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.schema import DatabaseSchema
+from ..storage.database import Database
+from .base import WorkloadSpec
+
+STATES = (
+    "AL", "AK", "AZ", "CA", "CO", "FL", "GA", "IL", "MA", "NY",
+    "OR", "PA", "TX", "UT", "VA", "WA",
+)
+DELAY_CAUSES = ("carrier", "weather", "nas", "security", "late_aircraft")
+MONTHS = tuple(range(1, 13))
+YEARS = tuple(range(1987, 2015))
+PLANE_MODELS = ("B737", "B747", "B757", "A319", "A320", "A321", "E175", "CRJ9")
+
+
+def schema() -> DatabaseSchema:
+    """Seven relations mirroring the AIRCA tables used in the experiments."""
+    return DatabaseSchema.from_dict(
+        {
+            "flights": [
+                "flight_id", "flight_date", "month", "year", "origin", "dest",
+                "airline_id", "dep_delay", "arr_delay",
+            ],
+            "carriers": ["airline_id", "carrier_name", "country"],
+            "airports": ["airport_id", "city", "state"],
+            "segments": ["segment_id", "airline_id", "origin", "dest", "year", "passengers"],
+            "markets": ["market_id", "airline_id", "year", "revenue"],
+            "planes": ["tail_num", "airline_id", "model", "year_built"],
+            "delays": ["delay_id", "flight_id", "cause", "minutes"],
+        }
+    )
+
+
+def access_schema(database_schema: DatabaseSchema | None = None) -> AccessSchema:
+    """The access constraints of the AIRCA workload.
+
+    The first constraint is the one quoted in Section 8: each airport hosts
+    carriers of at most 28 airlines.  The rest are keys, bounded fan-outs and
+    small-domain constraints in the same spirit.
+    """
+    database_schema = database_schema or schema()
+    flights_all = list(database_schema["flights"].attributes)
+    carriers_all = list(database_schema["carriers"].attributes)
+    airports_all = list(database_schema["airports"].attributes)
+    segments_all = list(database_schema["segments"].attributes)
+    markets_all = list(database_schema["markets"].attributes)
+    planes_all = list(database_schema["planes"].attributes)
+    delays_all = list(database_schema["delays"].attributes)
+    return AccessSchema(
+        [
+            AccessConstraint.of("flights", "origin", "airline_id", 28, name="origin-airlines"),
+            AccessConstraint.of("flights", "flight_id", flights_all, 1, name="flight-key"),
+            AccessConstraint.of(
+                "flights", ["airline_id", "flight_date"], "flight_id", 60, name="airline-daily"
+            ),
+            AccessConstraint.of(
+                "flights", ["origin", "flight_date"], "flight_id", 80, name="origin-daily"
+            ),
+            AccessConstraint.of("flights", (), "month", 12, name="months"),
+            AccessConstraint.of("flights", (), "year", len(YEARS), name="years"),
+            AccessConstraint.of("flights", "flight_id", ["dep_delay", "arr_delay"], 1,
+                                name="flight-delays"),
+            AccessConstraint.of("carriers", "airline_id", carriers_all, 1, name="carrier-key"),
+            AccessConstraint.of("carriers", (), "country", 8, name="carrier-countries"),
+            AccessConstraint.of("airports", "airport_id", airports_all, 1, name="airport-key"),
+            AccessConstraint.of("airports", (), "state", len(STATES), name="states"),
+            AccessConstraint.of("airports", "state", "airport_id", 40, name="state-airports"),
+            AccessConstraint.of("segments", "segment_id", segments_all, 1, name="segment-key"),
+            AccessConstraint.of(
+                "segments", ["airline_id", "year"], "segment_id", 40, name="airline-segments"
+            ),
+            AccessConstraint.of("markets", "market_id", markets_all, 1, name="market-key"),
+            AccessConstraint.of(
+                "markets", ["airline_id", "year"], "market_id", 12, name="airline-markets"
+            ),
+            AccessConstraint.of("planes", "tail_num", planes_all, 1, name="plane-key"),
+            AccessConstraint.of("planes", "airline_id", "tail_num", 60, name="airline-fleet"),
+            AccessConstraint.of("planes", (), "model", len(PLANE_MODELS), name="plane-models"),
+            AccessConstraint.of("delays", "delay_id", delays_all, 1, name="delay-key"),
+            AccessConstraint.of("delays", "flight_id", "delay_id", 4, name="flight-delay-rows"),
+            AccessConstraint.of("delays", (), "cause", len(DELAY_CAUSES), name="delay-causes"),
+        ],
+        schema=database_schema,
+    )
+
+
+def generate(scale: int = 200, seed: int = 0) -> Database:
+    """Generate an AIRCA instance; ``scale`` controls the number of flight days.
+
+    Every constraint of :func:`access_schema` is satisfied by construction:
+    airlines per airport are capped at 20 (< 28), flights per airline per day
+    at 3 (< 60), delay rows per flight at 2 (< 4), and so on.
+    """
+    rng = random.Random(seed)
+    database = Database(schema())
+
+    n_airports = max(6, min(40, scale // 10))
+    n_airlines = max(4, min(20, scale // 20))
+    n_days = max(10, scale // 2)
+    years = YEARS[-3:]
+
+    airports = [f"AP{i:03d}" for i in range(n_airports)]
+    airlines = [f"AL{i:02d}" for i in range(n_airlines)]
+
+    for airport in airports:
+        database.insert("airports", (airport, f"city_{airport}", rng.choice(STATES)))
+    for airline in airlines:
+        database.insert(
+            "carriers", (airline, f"carrier_{airline}", rng.choice(("US", "CA", "MX", "UK")))
+        )
+
+    flight_counter = 0
+    delay_counter = 0
+    flight_ids: list[str] = []
+    for day in range(n_days):
+        year = years[day % len(years)]
+        month = MONTHS[day % 12]
+        flight_date = f"{year}-{month:02d}-{(day % 28) + 1:02d}"
+        for airline in airlines:
+            for _ in range(rng.randint(0, 3)):
+                origin, dest = rng.sample(airports, 2)
+                flight_id = f"F{flight_counter:06d}"
+                flight_counter += 1
+                dep_delay = rng.randint(-5, 90)
+                arr_delay = dep_delay + rng.randint(-15, 30)
+                database.insert(
+                    "flights",
+                    (flight_id, flight_date, month, year, origin, dest, airline,
+                     dep_delay, arr_delay),
+                )
+                flight_ids.append(flight_id)
+                if dep_delay > 30 and rng.random() < 0.5:
+                    for _ in range(rng.randint(1, 2)):
+                        database.insert(
+                            "delays",
+                            (f"D{delay_counter:06d}", flight_id, rng.choice(DELAY_CAUSES),
+                             rng.randint(5, 120)),
+                        )
+                        delay_counter += 1
+
+    segment_counter = 0
+    market_counter = 0
+    for airline in airlines:
+        for year in years:
+            for _ in range(rng.randint(2, 8)):
+                origin, dest = rng.sample(airports, 2)
+                database.insert(
+                    "segments",
+                    (f"S{segment_counter:06d}", airline, origin, dest, year,
+                     rng.randint(1000, 250000)),
+                )
+                segment_counter += 1
+            for _ in range(rng.randint(1, 4)):
+                database.insert(
+                    "markets",
+                    (f"M{market_counter:06d}", airline, year, rng.randint(100, 9000)),
+                )
+                market_counter += 1
+        for plane_index in range(rng.randint(2, 10)):
+            database.insert(
+                "planes",
+                (f"N{airline}{plane_index:03d}", airline, rng.choice(PLANE_MODELS),
+                 rng.randint(1985, 2014)),
+            )
+
+    return database
+
+
+JOIN_EDGES = (
+    (("flights", "airline_id"), ("carriers", "airline_id")),
+    (("flights", "origin"), ("airports", "airport_id")),
+    (("flights", "dest"), ("airports", "airport_id")),
+    (("flights", "flight_id"), ("delays", "flight_id")),
+    (("segments", "airline_id"), ("carriers", "airline_id")),
+    (("segments", "origin"), ("airports", "airport_id")),
+    (("markets", "airline_id"), ("carriers", "airline_id")),
+    (("planes", "airline_id"), ("carriers", "airline_id")),
+    (("segments", "airline_id"), ("flights", "airline_id")),
+)
+
+WORKLOAD = WorkloadSpec(
+    name="AIRCA",
+    schema=schema(),
+    access_schema=access_schema(),
+    generate=generate,
+    join_edges=JOIN_EDGES,
+    description="US air carriers: on-time performance and carrier statistics",
+    default_scale=200,
+)

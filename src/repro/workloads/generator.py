@@ -1,0 +1,211 @@
+"""Random RA query generation (Section 8, "RA queries generator").
+
+The paper generates queries "by using attributes that occurred in the access
+constraints and constants randomly extracted for those attributes", varying
+
+* ``#-sel``      — the number of equality atoms in the selection (4..9),
+* ``#-join``     — the number of joins (0..5), and
+* ``#-unidiff``  — the number of union / set-difference operators (0..5).
+
+:class:`RandomQueryGenerator` reproduces that process for a
+:class:`~repro.workloads.base.WorkloadSpec`: joins follow the workload's join
+graph (foreign-key-style edges), selections bind constraint attributes to
+constants sampled from a generated instance, and set operators combine
+independently generated SPC blocks of matching arity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from ..core.access import AccessSchema
+from ..core.query import (
+    Difference,
+    Join,
+    Predicate,
+    Projection,
+    Query,
+    Relation,
+    Selection,
+    Union,
+    conjunction,
+    eq,
+)
+from ..core.schema import Attribute
+from ..storage.database import Database
+from ..storage.statistics import DatabaseStatistics
+from .base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class QueryParameters:
+    """The knobs of one generated query."""
+
+    n_sel: int
+    n_join: int
+    n_unidiff: int
+
+
+class RandomQueryGenerator:
+    """Generates random RA queries over a workload, as in the paper's experiments."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        database: Database | None = None,
+        seed: int = 0,
+        sample_scale: int = 60,
+    ):
+        self.workload = workload
+        self.rng = random.Random(seed)
+        if database is None:
+            database = workload.database(scale=sample_scale, seed=seed)
+        self.statistics = DatabaseStatistics.collect(database, sample_size=50)
+        self._occurrence_counter = itertools.count(1)
+        self._constraint_attributes = self._collect_constraint_attributes(
+            workload.access_schema
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_constraint_attributes(
+        access_schema: AccessSchema,
+    ) -> dict[str, list[str]]:
+        """Per relation, the attributes that occur in some access constraint."""
+        attributes: dict[str, list[str]] = {}
+        for constraint in access_schema:
+            bucket = attributes.setdefault(constraint.relation, [])
+            for attr in sorted(constraint.lhs | constraint.rhs):
+                if attr not in bucket:
+                    bucket.append(attr)
+        return attributes
+
+    def _fresh_occurrence(self, base: str) -> str:
+        return f"{base}_{next(self._occurrence_counter)}"
+
+    def _sample_constant(self, base_relation: str, attribute: str) -> object:
+        stats = self.statistics.relations.get(base_relation)
+        if stats is None:
+            return 0
+        values = stats.sample_values.get(attribute, ())
+        if not values:
+            return 0
+        return self.rng.choice(list(values))
+
+    # ------------------------------------------------------------------
+    def generate(self, n_sel: int = 4, n_join: int = 1, n_unidiff: int = 0) -> Query:
+        """Generate one query with the requested ``#-sel`` / ``#-join`` / ``#-unidiff``."""
+        blocks = [
+            self._generate_spc_block(n_sel, n_join, single_output=n_unidiff > 0)
+            for _ in range(n_unidiff + 1)
+        ]
+        query = blocks[0]
+        for block in blocks[1:]:
+            if self.rng.random() < 0.5:
+                query = Union(query, block)
+            else:
+                query = Difference(query, block)
+        return query
+
+    def generate_batch(
+        self,
+        count: int,
+        sel_range: tuple[int, int] = (4, 9),
+        join_range: tuple[int, int] = (0, 5),
+        unidiff_range: tuple[int, int] = (0, 5),
+    ) -> list[tuple[QueryParameters, Query]]:
+        """Generate ``count`` queries with parameters drawn uniformly from the ranges."""
+        batch: list[tuple[QueryParameters, Query]] = []
+        for _ in range(count):
+            parameters = QueryParameters(
+                n_sel=self.rng.randint(*sel_range),
+                n_join=self.rng.randint(*join_range),
+                n_unidiff=self.rng.randint(*unidiff_range),
+            )
+            batch.append(
+                (parameters, self.generate(parameters.n_sel, parameters.n_join, parameters.n_unidiff))
+            )
+        return batch
+
+    # ------------------------------------------------------------------
+    def _generate_spc_block(self, n_sel: int, n_join: int, *, single_output: bool) -> Query:
+        """One SPC block: a join chain over the workload's join graph + selections."""
+        edges = list(self.workload.join_edges)
+        relations_with_constraints = sorted(self._constraint_attributes)
+        if not relations_with_constraints:
+            relations_with_constraints = list(self.workload.schema.relation_names())
+
+        start_base = self.rng.choice(relations_with_constraints)
+        occurrences: dict[str, Relation] = {}
+
+        def add_relation(base: str) -> Relation:
+            name = self._fresh_occurrence(base)
+            relation = Relation(name, self.workload.schema[base].attributes, base=base)
+            occurrences[name] = relation
+            return relation
+
+        start = add_relation(start_base)
+        query: Query = start
+        included_bases: list[tuple[str, Relation]] = [(start_base, start)]
+
+        for _ in range(n_join):
+            candidates = [
+                (edge, anchor_relation, anchor_side)
+                for edge in edges
+                for anchor_side in (0, 1)
+                for base, anchor_relation in included_bases
+                if edge[anchor_side][0] == base
+            ]
+            if not candidates:
+                break
+            edge, anchor_relation, anchor_side = self.rng.choice(candidates)
+            other_side = 1 - anchor_side
+            other_base, other_attr = edge[other_side]
+            anchor_attr = edge[anchor_side][1]
+            new_relation = add_relation(other_base)
+            condition = eq(anchor_relation[anchor_attr], new_relation[other_attr])
+            query = Join(query, new_relation, condition)
+            included_bases.append((other_base, new_relation))
+
+        # Selection: n_sel equality atoms on constraint attributes of the block.
+        # Most atoms are drawn so as to complete the left-hand side of some
+        # access constraint on an included relation (the paper's generator
+        # uses "attributes that occurred in the access constraints"); the rest
+        # are uniform over constraint attributes, so some queries end up not
+        # covered, as in the experiments.
+        atoms = []
+        candidate_attributes: list[tuple[Relation, str, str]] = []
+        lhs_candidates: list[tuple[Relation, str, str]] = []
+        for base, relation in included_bases:
+            for attr in self._constraint_attributes.get(base, relation.attribute_names):
+                candidate_attributes.append((relation, base, attr))
+            for constraint in self.workload.access_schema.for_relation(base):
+                for attr in sorted(constraint.lhs):
+                    lhs_candidates.append((relation, base, attr))
+        for _ in range(n_sel):
+            if not candidate_attributes:
+                break
+            pool = lhs_candidates if lhs_candidates and self.rng.random() < 0.7 else candidate_attributes
+            relation, base, attr = self.rng.choice(pool)
+            constant = self._sample_constant(base, attr)
+            atoms.append(eq(relation[attr], constant))
+        if atoms:
+            condition = conjunction(atoms)
+            assert condition is not None
+            query = Selection(query, condition)
+
+        # Projection: constraint attributes of the included relations.
+        projection_pool: list[Attribute] = []
+        for base, relation in included_bases:
+            for attr in self._constraint_attributes.get(base, relation.attribute_names):
+                projection_pool.append(relation[attr])
+        if not projection_pool:  # pragma: no cover - defensive
+            projection_pool = list(query.output_attributes())
+        if single_output:
+            chosen = [self.rng.choice(projection_pool)]
+        else:
+            width = self.rng.randint(1, min(3, len(projection_pool)))
+            chosen = self.rng.sample(projection_pool, width)
+        return Projection(query, chosen)

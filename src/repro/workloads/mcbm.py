@@ -1,0 +1,183 @@
+"""MCBM — mobile-communication benchmark workload (synthetic stand-in).
+
+The paper's MCBM is a commercial benchmark from Huawei (12 relations, 285
+attributes, up to 360 M tuples) simulating mobile-communication scenarios.
+This module provides a schema of the same flavour — subscribers, plans,
+cells, calls, messages, data usage, payments, devices — with access
+constraints typical of telco data (bounded calls per subscriber per day,
+key constraints, small enumerated domains) and a generator that satisfies
+them at any scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.schema import DatabaseSchema
+from ..storage.database import Database
+from .base import WorkloadSpec
+
+REGIONS = tuple(f"region_{i}" for i in range(16))
+PRICE_TIERS = ("basic", "standard", "plus", "premium", "enterprise")
+DURATION_BANDS = ("lt1m", "1to5m", "5to15m", "15to30m", "30to60m", "gt60m")
+PAYMENT_METHODS = ("card", "bank", "wallet", "voucher")
+DEVICE_OS = ("android", "ios", "harmony", "other")
+DEVICE_MODELS = tuple(f"model_{i}" for i in range(24))
+MONTHS = tuple(range(1, 13))
+YEARS = (2013, 2014, 2015)
+
+
+def schema() -> DatabaseSchema:
+    """Eight relations mirroring the MCBM benchmark tables."""
+    return DatabaseSchema.from_dict(
+        {
+            "subscribers": ["sid", "plan_id", "region", "join_year"],
+            "plans": ["plan_id", "plan_name", "price_tier"],
+            "cells": ["cell_id", "region", "capacity_class"],
+            "calls": ["call_id", "caller", "callee", "call_date", "cell_id", "duration_band"],
+            "messages": ["msg_id", "sender", "receiver", "msg_date"],
+            "data_usage": ["usage_id", "sid", "month", "year", "tier"],
+            "payments": ["payment_id", "sid", "month", "year", "method"],
+            "devices": ["device_id", "sid", "model", "os"],
+        }
+    )
+
+
+def access_schema(database_schema: DatabaseSchema | None = None) -> AccessSchema:
+    """The access constraints of the MCBM workload."""
+    database_schema = database_schema or schema()
+    subscribers_all = list(database_schema["subscribers"].attributes)
+    plans_all = list(database_schema["plans"].attributes)
+    cells_all = list(database_schema["cells"].attributes)
+    calls_all = list(database_schema["calls"].attributes)
+    messages_all = list(database_schema["messages"].attributes)
+    usage_all = list(database_schema["data_usage"].attributes)
+    payments_all = list(database_schema["payments"].attributes)
+    devices_all = list(database_schema["devices"].attributes)
+    return AccessSchema(
+        [
+            AccessConstraint.of("subscribers", "sid", subscribers_all, 1, name="subscriber-key"),
+            AccessConstraint.of("subscribers", (), "region", len(REGIONS), name="regions"),
+            AccessConstraint.of("subscribers", (), "join_year", 20, name="join-years"),
+            AccessConstraint.of("plans", "plan_id", plans_all, 1, name="plan-key"),
+            AccessConstraint.of("plans", (), "price_tier", len(PRICE_TIERS), name="price-tiers"),
+            AccessConstraint.of("cells", "cell_id", cells_all, 1, name="cell-key"),
+            AccessConstraint.of("cells", "region", "cell_id", 80, name="region-cells"),
+            AccessConstraint.of("calls", "call_id", calls_all, 1, name="call-key"),
+            AccessConstraint.of(
+                "calls", ["caller", "call_date"], "call_id", 100, name="caller-daily"
+            ),
+            AccessConstraint.of("calls", (), "duration_band", len(DURATION_BANDS),
+                                name="duration-bands"),
+            AccessConstraint.of("messages", "msg_id", messages_all, 1, name="message-key"),
+            AccessConstraint.of(
+                "messages", ["sender", "msg_date"], "msg_id", 200, name="sender-daily"
+            ),
+            AccessConstraint.of("data_usage", "usage_id", usage_all, 1, name="usage-key"),
+            AccessConstraint.of(
+                "data_usage", ["sid", "year", "month"], "usage_id", 1, name="usage-monthly"
+            ),
+            AccessConstraint.of("data_usage", (), "month", 12, name="usage-months"),
+            AccessConstraint.of("data_usage", (), "tier", 6, name="usage-tiers"),
+            AccessConstraint.of("payments", "payment_id", payments_all, 1, name="payment-key"),
+            AccessConstraint.of(
+                "payments", ["sid", "year", "month"], "payment_id", 3, name="payments-monthly"
+            ),
+            AccessConstraint.of("payments", (), "method", len(PAYMENT_METHODS), name="methods"),
+            AccessConstraint.of("devices", "device_id", devices_all, 1, name="device-key"),
+            AccessConstraint.of("devices", "sid", "device_id", 5, name="subscriber-devices"),
+            AccessConstraint.of("devices", (), "os", len(DEVICE_OS), name="device-os"),
+            AccessConstraint.of("devices", (), "model", len(DEVICE_MODELS), name="device-models"),
+        ],
+        schema=database_schema,
+    )
+
+
+def generate(scale: int = 200, seed: int = 0) -> Database:
+    """Generate an MCBM instance; ``scale`` is roughly the number of subscribers."""
+    rng = random.Random(seed)
+    database = Database(schema())
+
+    n_subscribers = max(20, scale)
+    n_plans = 8
+    n_cells = max(8, min(200, scale // 4))
+    n_days = max(5, scale // 20)
+
+    plans = [f"PL{i:02d}" for i in range(n_plans)]
+    for plan in plans:
+        database.insert("plans", (plan, f"plan_{plan}", rng.choice(PRICE_TIERS)))
+
+    cells = [f"CL{i:04d}" for i in range(n_cells)]
+    for cell in cells:
+        database.insert("cells", (cell, rng.choice(REGIONS), rng.randint(1, 4)))
+
+    subscribers = [f"SB{i:05d}" for i in range(n_subscribers)]
+    for sid in subscribers:
+        database.insert(
+            "subscribers", (sid, rng.choice(plans), rng.choice(REGIONS), rng.choice(YEARS))
+        )
+        for device_index in range(rng.randint(1, 3)):
+            database.insert(
+                "devices",
+                (f"DV{sid}{device_index}", sid, rng.choice(DEVICE_MODELS), rng.choice(DEVICE_OS)),
+            )
+        for year in YEARS[-2:]:
+            for month in rng.sample(MONTHS, rng.randint(2, 6)):
+                database.insert(
+                    "data_usage",
+                    (f"DU{sid}{year}{month:02d}", sid, month, year, rng.randint(1, 6)),
+                )
+                if rng.random() < 0.8:
+                    database.insert(
+                        "payments",
+                        (f"PM{sid}{year}{month:02d}", sid, month, year,
+                         rng.choice(PAYMENT_METHODS)),
+                    )
+
+    call_counter = 0
+    message_counter = 0
+    for day in range(n_days):
+        year = YEARS[day % len(YEARS)]
+        date = f"{year}-{(day % 12) + 1:02d}-{(day % 28) + 1:02d}"
+        for sid in rng.sample(subscribers, max(1, len(subscribers) // 4)):
+            for _ in range(rng.randint(0, 4)):
+                callee = rng.choice(subscribers)
+                database.insert(
+                    "calls",
+                    (f"CA{call_counter:08d}", sid, callee, date, rng.choice(cells),
+                     rng.choice(DURATION_BANDS)),
+                )
+                call_counter += 1
+            for _ in range(rng.randint(0, 5)):
+                receiver = rng.choice(subscribers)
+                database.insert(
+                    "messages",
+                    (f"MS{message_counter:08d}", sid, receiver, date),
+                )
+                message_counter += 1
+
+    return database
+
+
+JOIN_EDGES = (
+    (("subscribers", "plan_id"), ("plans", "plan_id")),
+    (("calls", "caller"), ("subscribers", "sid")),
+    (("calls", "callee"), ("subscribers", "sid")),
+    (("calls", "cell_id"), ("cells", "cell_id")),
+    (("messages", "sender"), ("subscribers", "sid")),
+    (("data_usage", "sid"), ("subscribers", "sid")),
+    (("payments", "sid"), ("subscribers", "sid")),
+    (("devices", "sid"), ("subscribers", "sid")),
+    (("cells", "region"), ("subscribers", "region")),
+)
+
+WORKLOAD = WorkloadSpec(
+    name="MCBM",
+    schema=schema(),
+    access_schema=access_schema(),
+    generate=generate,
+    join_edges=JOIN_EDGES,
+    description="Mobile-communication benchmark: subscribers, calls, usage, payments",
+    default_scale=200,
+)

@@ -1,0 +1,193 @@
+"""TFACC — UK traffic-accident workload (synthetic stand-in for the 21.4 GB dataset).
+
+Mirrors the structure of the UK Road Safety Data plus NaPTAN public-transport
+nodes used by the paper (19 tables, 89.7 M tuples), at laptop scale.  The
+headline constraint the paper quotes — each police force handles at most 304
+accidents per day — is part of the access schema, and the generator respects
+it (and every other constraint) by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.access import AccessConstraint, AccessSchema
+from ..core.schema import DatabaseSchema
+from ..storage.database import Database
+from .base import WorkloadSpec
+
+REGIONS = (
+    "north_east", "north_west", "yorkshire", "east_midlands", "west_midlands",
+    "east", "london", "south_east", "south_west", "wales", "scotland", "ni",
+)
+VEHICLE_TYPES = ("car", "van", "bus", "hgv", "motorcycle", "bicycle", "taxi", "other")
+CASUALTY_CLASSES = ("driver", "passenger", "pedestrian")
+STOP_TYPES = ("bus", "rail", "metro", "tram", "ferry", "coach", "taxi_rank", "air")
+ROAD_CLASSES = ("motorway", "a_road", "b_road", "c_road", "unclassified", "slip")
+SPEED_LIMITS = (20, 30, 40, 50, 60, 70)
+WEATHER_CONDITIONS = ("fine", "rain", "snow", "fog", "wind", "other")
+YEARS = tuple(range(1979, 2006))
+
+
+def schema() -> DatabaseSchema:
+    """Eight relations mirroring the TFACC tables used in the experiments."""
+    return DatabaseSchema.from_dict(
+        {
+            "accidents": [
+                "accident_id", "acc_date", "year", "police_force", "severity",
+                "num_vehicles", "num_casualties", "district",
+            ],
+            "vehicles": ["vehicle_id", "accident_id", "vehicle_type", "driver_age_band"],
+            "casualties": ["casualty_id", "accident_id", "casualty_class", "severity"],
+            "police": ["police_force", "force_name", "region"],
+            "districts": ["district", "district_name", "region"],
+            "stops": ["stop_id", "district", "stop_type", "status"],
+            "roads": ["road_id", "district", "road_class", "speed_limit"],
+            "weather": ["accident_id", "condition", "visibility"],
+        }
+    )
+
+
+def access_schema(database_schema: DatabaseSchema | None = None) -> AccessSchema:
+    """The access constraints of the TFACC workload.
+
+    ``accidents((acc_date, police_force) → accident_id, 304)`` is the
+    constraint quoted in Section 8.
+    """
+    database_schema = database_schema or schema()
+    accidents_all = list(database_schema["accidents"].attributes)
+    vehicles_all = list(database_schema["vehicles"].attributes)
+    casualties_all = list(database_schema["casualties"].attributes)
+    police_all = list(database_schema["police"].attributes)
+    districts_all = list(database_schema["districts"].attributes)
+    stops_all = list(database_schema["stops"].attributes)
+    roads_all = list(database_schema["roads"].attributes)
+    return AccessSchema(
+        [
+            AccessConstraint.of(
+                "accidents", ["acc_date", "police_force"], "accident_id", 304,
+                name="force-daily",
+            ),
+            AccessConstraint.of("accidents", "accident_id", accidents_all, 1, name="accident-key"),
+            AccessConstraint.of("accidents", (), "severity", 3, name="severities"),
+            AccessConstraint.of("accidents", (), "year", len(YEARS), name="years"),
+            AccessConstraint.of(
+                "accidents", ["district", "year"], "accident_id", 500, name="district-yearly"
+            ),
+            AccessConstraint.of("vehicles", "vehicle_id", vehicles_all, 1, name="vehicle-key"),
+            AccessConstraint.of("vehicles", "accident_id", "vehicle_id", 20, name="accident-vehicles"),
+            AccessConstraint.of("vehicles", (), "vehicle_type", len(VEHICLE_TYPES), name="vehicle-types"),
+            AccessConstraint.of("casualties", "casualty_id", casualties_all, 1, name="casualty-key"),
+            AccessConstraint.of(
+                "casualties", "accident_id", "casualty_id", 30, name="accident-casualties"
+            ),
+            AccessConstraint.of(
+                "casualties", (), "casualty_class", len(CASUALTY_CLASSES), name="casualty-classes"
+            ),
+            AccessConstraint.of("police", "police_force", police_all, 1, name="police-key"),
+            AccessConstraint.of("police", (), "region", len(REGIONS), name="regions"),
+            AccessConstraint.of("districts", "district", districts_all, 1, name="district-key"),
+            AccessConstraint.of("districts", "region", "district", 60, name="region-districts"),
+            AccessConstraint.of("stops", "stop_id", stops_all, 1, name="stop-key"),
+            AccessConstraint.of("stops", "district", "stop_id", 400, name="district-stops"),
+            AccessConstraint.of("stops", (), "stop_type", len(STOP_TYPES), name="stop-types"),
+            AccessConstraint.of("roads", "road_id", roads_all, 1, name="road-key"),
+            AccessConstraint.of("roads", "district", "road_id", 200, name="district-roads"),
+            AccessConstraint.of("roads", (), "road_class", len(ROAD_CLASSES), name="road-classes"),
+            AccessConstraint.of("roads", (), "speed_limit", len(SPEED_LIMITS), name="speed-limits"),
+            AccessConstraint.of("weather", "accident_id", ["condition", "visibility"], 1,
+                                name="accident-weather"),
+        ],
+        schema=database_schema,
+    )
+
+
+def generate(scale: int = 200, seed: int = 0) -> Database:
+    """Generate a TFACC instance; ``scale`` controls the number of accident days."""
+    rng = random.Random(seed)
+    database = Database(schema())
+
+    n_forces = max(4, min(20, scale // 20))
+    n_districts = max(6, min(40, scale // 10))
+    n_days = max(10, scale // 2)
+    years = YEARS[-3:]
+
+    forces = [f"PF{i:02d}" for i in range(n_forces)]
+    districts = [f"DS{i:03d}" for i in range(n_districts)]
+
+    for force in forces:
+        database.insert("police", (force, f"force_{force}", rng.choice(REGIONS)))
+    for district in districts:
+        database.insert("districts", (district, f"district_{district}", rng.choice(REGIONS)))
+        for stop_index in range(rng.randint(2, 12)):
+            database.insert(
+                "stops",
+                (f"ST{district}{stop_index:03d}", district, rng.choice(STOP_TYPES), "active"),
+            )
+        for road_index in range(rng.randint(2, 8)):
+            database.insert(
+                "roads",
+                (f"RD{district}{road_index:03d}", district, rng.choice(ROAD_CLASSES),
+                 rng.choice(SPEED_LIMITS)),
+            )
+
+    accident_counter = 0
+    vehicle_counter = 0
+    casualty_counter = 0
+    for day in range(n_days):
+        year = years[day % len(years)]
+        acc_date = f"{year}-{(day % 12) + 1:02d}-{(day % 28) + 1:02d}"
+        for force in forces:
+            for _ in range(rng.randint(0, 4)):
+                accident_id = f"A{accident_counter:07d}"
+                accident_counter += 1
+                num_vehicles = rng.randint(1, 4)
+                num_casualties = rng.randint(0, 5)
+                district = rng.choice(districts)
+                database.insert(
+                    "accidents",
+                    (accident_id, acc_date, year, force, rng.randint(1, 3),
+                     num_vehicles, num_casualties, district),
+                )
+                database.insert(
+                    "weather",
+                    (accident_id, rng.choice(WEATHER_CONDITIONS), rng.randint(1, 5)),
+                )
+                for _ in range(num_vehicles):
+                    database.insert(
+                        "vehicles",
+                        (f"V{vehicle_counter:07d}", accident_id, rng.choice(VEHICLE_TYPES),
+                         rng.randint(1, 8)),
+                    )
+                    vehicle_counter += 1
+                for _ in range(num_casualties):
+                    database.insert(
+                        "casualties",
+                        (f"C{casualty_counter:07d}", accident_id,
+                         rng.choice(CASUALTY_CLASSES), rng.randint(1, 3)),
+                    )
+                    casualty_counter += 1
+
+    return database
+
+
+JOIN_EDGES = (
+    (("accidents", "police_force"), ("police", "police_force")),
+    (("accidents", "district"), ("districts", "district")),
+    (("vehicles", "accident_id"), ("accidents", "accident_id")),
+    (("casualties", "accident_id"), ("accidents", "accident_id")),
+    (("weather", "accident_id"), ("accidents", "accident_id")),
+    (("stops", "district"), ("districts", "district")),
+    (("roads", "district"), ("districts", "district")),
+    (("stops", "district"), ("accidents", "district")),
+)
+
+WORKLOAD = WorkloadSpec(
+    name="TFACC",
+    schema=schema(),
+    access_schema=access_schema(),
+    generate=generate,
+    join_edges=JOIN_EDGES,
+    description="UK road-safety accidents joined with NaPTAN transport nodes",
+    default_scale=200,
+)

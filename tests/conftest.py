@@ -1,0 +1,105 @@
+"""Shared fixtures: the paper's running example and small synthetic databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.schema import DatabaseSchema
+from repro.storage.database import Database
+from repro.storage.index import IndexSet
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def fb_schema() -> DatabaseSchema:
+    """The friend/dine/cafe schema of Example 1."""
+    return facebook.schema()
+
+
+@pytest.fixture
+def fb_access(fb_schema) -> AccessSchema:
+    """The access schema A0 = {ψ1, ψ2, ψ3, ψ4} of Example 1."""
+    return facebook.access_schema(fb_schema)
+
+
+@pytest.fixture
+def fb_database() -> Database:
+    """A small deterministic instance of the Example 1 schema satisfying A0."""
+    return facebook.generate(scale=40, seed=7)
+
+
+@pytest.fixture
+def fb_indexes(fb_database, fb_access) -> IndexSet:
+    return IndexSet.build(fb_database, fb_access)
+
+
+@pytest.fixture
+def fb_q0():
+    """Q0 = Q1 − Q2 as written in Example 1 (not covered)."""
+    return facebook.query_q0()
+
+
+@pytest.fixture
+def fb_q0_prime():
+    """Q0' = Q1 − Q3, the covered rewriting of Q0."""
+    return facebook.query_q0_prime()
+
+
+@pytest.fixture
+def fb_q1():
+    return facebook.query_q1()
+
+
+@pytest.fixture
+def fb_q2():
+    return facebook.query_q2()
+
+
+@pytest.fixture
+def tiny_schema() -> DatabaseSchema:
+    """A two-relation schema used by unit tests that need something minimal."""
+    return DatabaseSchema.from_dict(
+        {
+            "r": ["a", "b", "e"],
+            "s": ["f", "g", "h"],
+        }
+    )
+
+
+@pytest.fixture
+def tiny_access(tiny_schema) -> AccessSchema:
+    """The access schema A1 of Example 3."""
+    return AccessSchema(
+        [
+            AccessConstraint.of("r", ["a", "b"], "e", 10),
+            AccessConstraint.of("s", "f", ["g", "h"], 2),
+            AccessConstraint.of("s", ["g", "h"], ["g", "h"], 1),
+        ],
+        schema=tiny_schema,
+    )
+
+
+@pytest.fixture
+def tiny_database(tiny_schema) -> Database:
+    database = Database(tiny_schema)
+    database.insert_many(
+        "r",
+        [
+            (1, 1, "x"),
+            (1, 2, "y"),
+            (2, 1, "z"),
+            (2, 2, "w"),
+            (1, 3, "v"),
+        ],
+    )
+    database.insert_many(
+        "s",
+        [
+            ("u1", 1, 1),
+            ("u1", 2, 2),
+            ("u2", 1, 2),
+            ("u3", 3, 3),
+        ],
+    )
+    return database

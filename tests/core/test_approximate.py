@@ -1,0 +1,102 @@
+"""Unit tests for approximate answers to non-covered queries."""
+
+import pytest
+
+from repro.core.approximate import ApproximateEvaluator, approximate_answer
+from repro.core.query import Difference, Relation, Union, eq
+from repro.evaluator.algebra import evaluate
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def evaluator(fb_database, fb_access, fb_indexes):
+    return ApproximateEvaluator(fb_database, fb_access, fb_indexes)
+
+
+class TestExactCases:
+    def test_covered_query_is_exact(self, evaluator, fb_q1, fb_database):
+        result = evaluator.evaluate(fb_q1)
+        assert result.exact
+        assert result.certain == result.possible == evaluate(fb_q1, fb_database).rows
+
+    def test_rewritable_difference_is_exact(self, evaluator, fb_q0, fb_database):
+        """Q0 is answered exactly through the guarded rewrite, not approximated."""
+        result = evaluator.evaluate(fb_q0)
+        assert result.exact
+        assert result.certain == evaluate(fb_q0, fb_database).rows
+        assert result.counter.scanned == 0
+
+
+class TestApproximateCases:
+    def test_uncovered_spc_gives_empty_lower_unknown_upper(self, evaluator, fb_q2):
+        result = evaluator.evaluate(fb_q2)
+        assert not result.exact
+        assert result.certain == frozenset()
+        assert result.possible is None
+        assert result.precision_interval() == (0, None)
+
+    def test_union_with_uncovered_branch_lower_bound_sound(
+        self, evaluator, fb_q1, fb_q2, fb_database
+    ):
+        """Q1 ∪ Q2: certain answers are exactly Q1's (the covered branch)."""
+        query = Union(fb_q1, fb_q2)
+        result = evaluator.evaluate(query, allow_rewrite=False)
+        truth = evaluate(query, fb_database).rows
+        assert result.certain <= truth
+        assert result.certain == evaluate(fb_q1, fb_database).rows
+        assert result.possible is None
+        assert result.counter.scanned == 0
+
+    def test_difference_with_uncovered_right_upper_bound(
+        self, evaluator, fb_q1, fb_q2, fb_database
+    ):
+        """Q1 − Q2 (without rewriting): possible answers are Q1's, certain is ∅."""
+        query = Difference(fb_q1, fb_q2)
+        result = evaluator.evaluate(query, allow_rewrite=False)
+        truth = evaluate(query, fb_database).rows
+        assert result.certain <= truth
+        assert result.possible is not None
+        assert truth <= result.possible
+        assert result.possible == evaluate(fb_q1, fb_database).rows
+
+    def test_difference_with_uncovered_left(self, evaluator, fb_q1, fb_q2, fb_database):
+        """Q2 − Q1: nothing is certain and the upper bound is unknown."""
+        query = Difference(fb_q2, fb_q1)
+        result = evaluator.evaluate(query, allow_rewrite=False)
+        truth = evaluate(query, fb_database).rows
+        assert result.certain <= truth
+        assert result.certain == frozenset()
+        assert result.possible is None
+
+    def test_nested_combination_soundness(self, evaluator, fb_database, fb_schema):
+        """(Q1 ∪ Q2) − Q2': certain ⊆ truth ⊆ possible whenever bounds are known."""
+        q1 = facebook.query_q1()
+        q2 = facebook.query_q2()
+        dine = Relation("dine_x", fb_schema["dine"].attributes, base="dine")
+        q2b = dine.select(eq(dine["pid"], "p1")).project([dine["cid"]])
+        query = Difference(Union(q1, q2), q2b)
+        result = evaluator.evaluate(query, allow_rewrite=False)
+        truth = evaluate(query, fb_database).rows
+        assert result.certain <= truth
+        if result.possible is not None:
+            assert truth <= result.possible
+
+    def test_subquery_status_reported(self, evaluator, fb_q1, fb_q2):
+        result = evaluator.evaluate(Union(fb_q1, fb_q2), allow_rewrite=False)
+        assert result.subquery_status is not None
+        assert sorted(result.subquery_status.values()) == [False, True]
+
+
+class TestConvenienceWrapper:
+    def test_approximate_answer_builds_indexes(self, fb_database, fb_access, fb_q0):
+        result = approximate_answer(fb_q0, fb_database, fb_access)
+        assert result.exact
+        assert result.certain == evaluate(fb_q0, fb_database).rows
+
+    def test_access_stays_bounded(self, fb_database, fb_access, fb_indexes, fb_q1, fb_q2):
+        """Approximation never scans; all access goes through the indexes."""
+        result = approximate_answer(
+            Union(fb_q1, fb_q2), fb_database, fb_access, fb_indexes
+        )
+        assert result.counter.scanned == 0
+        assert result.counter.fetched > 0

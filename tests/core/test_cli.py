@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import dump_access_schema, dump_schema
+from repro.workloads import facebook
+
+
+FB_Q1_SQL = (
+    "SELECT d.cid FROM friend f JOIN dine d ON f.fid = d.pid "
+    "JOIN cafe c ON d.cid = c.cid "
+    "WHERE f.pid = 'p0' AND d.month = 'may' AND d.year = 2015 AND c.city = 'nyc'"
+)
+FB_Q2_SQL = "SELECT cid FROM dine WHERE pid = 'p0'"
+
+
+class TestCheckCommand:
+    def test_covered_query_exit_zero(self, capsys):
+        code = main(["check", "--workload", "facebook", "--scale", "30", "--sql", FB_Q1_SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "covered: True" in out
+        assert "access bound" in out
+
+    def test_uncovered_query_exit_one(self, capsys):
+        code = main(["check", "--workload", "facebook", "--scale", "30", "--sql", FB_Q2_SQL])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "covered: False" in out
+
+    def test_parse_error_reported(self, capsys):
+        code = main(["check", "--workload", "facebook", "--scale", "30",
+                     "--sql", "SELEC broken"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestPlanCommand:
+    def test_plan_steps_printed(self, capsys):
+        code = main(["plan", "--workload", "facebook", "--scale", "30", "--sql", FB_Q1_SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fetch" in out
+        assert "access bound" in out
+        assert "minimized access schema" in out
+
+    def test_plan_sql_output(self, capsys):
+        code = main(["plan", "--workload", "facebook", "--scale", "30",
+                     "--sql", FB_Q1_SQL, "--sql-output"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.lstrip().startswith("--") or "WITH" in out
+        assert "ind_" in out
+
+    def test_plan_uncovered_fails(self, capsys):
+        code = main(["plan", "--workload", "facebook", "--scale", "30", "--sql", FB_Q2_SQL])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "not fetchable" in captured.err or "not indexed" in captured.err
+
+
+class TestRunCommand:
+    def test_run_prints_rows_and_stats(self, capsys):
+        code = main(["run", "--workload", "facebook", "--scale", "40", "--seed", "1",
+                     "--sql", FB_Q1_SQL])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "strategy: bounded" in captured.err
+        assert "P(D_Q)" in captured.err
+
+    def test_run_falls_back_for_uncovered(self, capsys):
+        code = main(["run", "--workload", "facebook", "--scale", "30",
+                     "--sql", FB_Q2_SQL])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "strategy: conventional" in captured.err
+
+
+class TestDiscoverCommand:
+    def test_discover_to_stdout(self, capsys):
+        code = main(["discover", "--workload", "facebook", "--scale", "25",
+                     "--max-lhs", "1", "--max-bound", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert isinstance(payload, list) and payload
+        assert {"relation", "lhs", "rhs", "bound"} <= set(payload[0])
+
+    def test_discover_to_file(self, tmp_path, capsys):
+        output = tmp_path / "constraints.json"
+        code = main(["discover", "--workload", "facebook", "--scale", "25",
+                     "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        assert json.loads(output.read_text())
+
+
+class TestCSVSource:
+    def test_check_with_csv_data_and_constraints(self, tmp_path, fb_schema, fb_access, capsys):
+        database = facebook.generate(scale=25, seed=3)
+        data_dir = tmp_path / "data"
+        database.to_directory(data_dir)
+        schema_path = tmp_path / "schema.json"
+        constraints_path = tmp_path / "constraints.json"
+        dump_schema(fb_schema, schema_path)
+        dump_access_schema(fb_access, constraints_path)
+        code = main([
+            "check",
+            "--schema", str(schema_path),
+            "--data", str(data_dir),
+            "--constraints", str(constraints_path),
+            "--sql", FB_Q1_SQL,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "covered: True" in out
+
+    def test_missing_source_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--sql", FB_Q1_SQL])

@@ -1,0 +1,60 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.access import AccessConstraint
+from repro.core.errors import (
+    AccessConstraintError,
+    ConstraintViolation,
+    DiscoveryError,
+    NotCoveredError,
+    ParseError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            SchemaError,
+            QueryError,
+            AccessConstraintError,
+            NotCoveredError,
+            PlanError,
+            ParseError,
+            StorageError,
+            DiscoveryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise QueryError("boom")
+
+
+class TestParseError:
+    def test_position_rendered_as_line_and_column(self):
+        error = ParseError("unexpected token", position=12, text="SELECT *\nFROM x")
+        assert "line 2" in str(error)
+        assert error.position == 12
+
+    def test_without_position(self):
+        error = ParseError("oops")
+        assert str(error) == "oops"
+
+
+class TestConstraintViolation:
+    def test_message_contains_constraint_and_count(self):
+        constraint = AccessConstraint.of("friend", "pid", "fid", 2)
+        violation = ConstraintViolation(constraint, ("p0",), 5)
+        assert "friend" in str(violation)
+        assert "5" in str(violation)
+        assert violation.count == 5
+        assert violation.constraint is constraint

@@ -1,0 +1,126 @@
+"""Unit tests for access minimization (AMP, Section 6)."""
+
+import pytest
+
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.coverage import is_covered
+from repro.core.errors import NotCoveredError
+from repro.core.minimize import (
+    is_acyclic_case,
+    is_elementary_case,
+    minimize_access,
+    minimize_access_acyclic,
+    minimize_access_elementary,
+    minimize_access_exact,
+    minimize_auto,
+    schema_cost,
+)
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def fb_access_with_psi5(fb_schema):
+    """A1 of Example 9: A0 plus ψ5 = dine((pid, year) -> cid, 366)."""
+    schema = facebook.access_schema(fb_schema)
+    schema.add(AccessConstraint.of("dine", ["pid", "year"], "cid", 366, name="psi5"))
+    return schema
+
+
+class TestMinA:
+    def test_example9_drops_psi5_and_psi3(self, fb_q1, fb_access_with_psi5):
+        """Example 9: minA returns {ψ1, ψ2, ψ4} for Q1 under A1."""
+        result = minimize_access(fb_q1, fb_access_with_psi5)
+        names = sorted(c.name for c in result.selected)
+        assert names == ["psi1", "psi2", "psi4"]
+        assert result.method == "minA"
+        assert result.cost == 5000 + 31 + 1
+
+    def test_result_still_covers(self, fb_q1, fb_access):
+        result = minimize_access(fb_q1, fb_access)
+        assert is_covered(fb_q1, result.selected)
+
+    def test_result_is_minimal(self, fb_q1, fb_access):
+        """Removing any constraint from the returned subset breaks coverage."""
+        result = minimize_access(fb_q1, fb_access)
+        for constraint in result.selected:
+            smaller = result.selected.without(constraint)
+            assert not is_covered(fb_q1, smaller)
+
+    def test_uncovered_query_rejected(self, fb_q2, fb_access):
+        with pytest.raises(NotCoveredError):
+            minimize_access(fb_q2, fb_access)
+
+    def test_cost_matches_schema_cost(self, fb_q0_prime, fb_access):
+        result = minimize_access(fb_q0_prime, fb_access)
+        assert result.cost == schema_cost(result.selected)
+        assert result.cost <= schema_cost(fb_access)
+
+    def test_weight_coefficients_change_tie_breaking(self, fb_q1, fb_access_with_psi5):
+        weighted = minimize_access(fb_q1, fb_access_with_psi5, c1=1.0, c2=1.0)
+        unweighted = minimize_access(fb_q1, fb_access_with_psi5, c1=0.0, c2=1.0)
+        # both remain covering subsets
+        assert is_covered(fb_q1, weighted.selected)
+        assert is_covered(fb_q1, unweighted.selected)
+
+
+class TestSpecialCases:
+    def test_acyclic_case_detection(self, fb_q1, fb_access):
+        assert is_acyclic_case(fb_q1, fb_access)
+
+    def test_elementary_case_detection(self, fb_schema):
+        elementary = AccessSchema(
+            [
+                AccessConstraint.of("cafe", "cid", "city", 1),
+                AccessConstraint.of("dine", ["pid", "cid"], ["pid", "cid"], 1),
+            ],
+            schema=fb_schema,
+        )
+        assert is_elementary_case(elementary)
+        not_elementary = facebook.access_schema(fb_schema)
+        assert not is_elementary_case(not_elementary)
+
+    def test_minadag_example10(self, fb_q1, fb_access_with_psi5):
+        """Example 10: minADAG picks ψ2 (31) over ψ5 (366) on the shortest hyperpath."""
+        result = minimize_access_acyclic(fb_q1, fb_access_with_psi5)
+        names = {c.name for c in result.selected}
+        assert "psi2" in names
+        assert "psi5" not in names
+        assert is_covered(fb_q1, result.selected)
+        assert result.method == "minADAG"
+
+    def test_minadag_covers(self, fb_q0_prime, fb_access):
+        result = minimize_access_acyclic(fb_q0_prime, fb_access)
+        assert is_covered(fb_q0_prime, result.selected)
+
+    def test_minae_covers(self, fb_q1, fb_access):
+        result = minimize_access_elementary(fb_q1, fb_access)
+        assert is_covered(fb_q1, result.selected)
+        assert result.method == "minAE"
+
+    def test_minauto_dispatch(self, fb_q1, fb_access):
+        result = minimize_auto(fb_q1, fb_access)
+        assert result.method in {"minA", "minADAG", "minAE"}
+        assert is_covered(fb_q1, result.selected)
+
+
+class TestExactAndQuality:
+    def test_exact_is_lower_bound(self, fb_q1, fb_access_with_psi5):
+        exact = minimize_access_exact(fb_q1, fb_access_with_psi5)
+        greedy = minimize_access(fb_q1, fb_access_with_psi5)
+        adag = minimize_access_acyclic(fb_q1, fb_access_with_psi5)
+        assert exact.cost <= greedy.cost
+        assert exact.cost <= adag.cost
+        assert is_covered(fb_q1, exact.selected)
+
+    def test_exact_matches_greedy_on_example9(self, fb_q1, fb_access_with_psi5):
+        exact = minimize_access_exact(fb_q1, fb_access_with_psi5)
+        greedy = minimize_access(fb_q1, fb_access_with_psi5)
+        assert exact.cost == greedy.cost == 5032
+
+    def test_exact_guard_on_large_schemas(self, fb_q1, fb_access):
+        with pytest.raises(ValueError):
+            minimize_access_exact(fb_q1, fb_access, max_constraints=2)
+
+    def test_minimization_result_len(self, fb_q1, fb_access):
+        result = minimize_access(fb_q1, fb_access)
+        assert len(result) == len(result.selected)

@@ -1,0 +1,69 @@
+"""Unit tests for JSON serialization of schemas and access schemas."""
+
+import json
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.serialize import (
+    access_schema_from_list,
+    access_schema_to_list,
+    constraint_from_dict,
+    constraint_to_dict,
+    dump_access_schema,
+    dump_schema,
+    load_access_schema,
+    load_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.workloads import facebook
+
+
+class TestSchemaRoundTrip:
+    def test_dict_round_trip(self, fb_schema):
+        assert schema_from_dict(schema_to_dict(fb_schema)) == fb_schema
+
+    def test_file_round_trip(self, fb_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        dump_schema(fb_schema, path)
+        assert load_schema(path) == fb_schema
+        # the file is plain JSON
+        assert isinstance(json.loads(path.read_text()), dict)
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict(["not", "a", "dict"])
+
+
+class TestAccessSchemaRoundTrip:
+    def test_constraint_round_trip(self, fb_access):
+        for constraint in fb_access:
+            restored = constraint_from_dict(constraint_to_dict(constraint))
+            assert restored == constraint
+            assert restored.name == constraint.name
+
+    def test_list_round_trip(self, fb_access, fb_schema):
+        data = access_schema_to_list(fb_access)
+        restored = access_schema_from_list(data, schema=fb_schema)
+        assert restored == fb_access
+
+    def test_file_round_trip(self, fb_access, fb_schema, tmp_path):
+        path = tmp_path / "constraints.json"
+        dump_access_schema(fb_access, path)
+        restored = load_access_schema(path, schema=fb_schema)
+        assert restored == fb_access
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SchemaError, match="missing field"):
+            constraint_from_dict({"relation": "r", "lhs": ["a"]})
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(SchemaError):
+            access_schema_from_list({"not": "a list"})
+
+    def test_empty_lhs_survives_round_trip(self, fb_schema):
+        from repro.core.access import AccessConstraint
+
+        constraint = AccessConstraint.of("dine", (), "month", 12)
+        assert constraint_from_dict(constraint_to_dict(constraint)) == constraint

@@ -1,0 +1,132 @@
+"""Unit tests for incremental maintenance of ⟨A, I_A⟩ (Proposition 12)."""
+
+import pytest
+
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.discovery.maintenance import Update, apply_updates, maintain_constraints
+from repro.storage.database import Database
+from repro.storage.index import IndexSet
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def db(fb_schema):
+    database = Database(fb_schema)
+    database.insert_many("friend", [("p0", "f1"), ("p0", "f2")])
+    database.insert_many("dine", [("f1", "c1", "may", 2015)])
+    database.insert_many("cafe", [("c1", "nyc")])
+    return database
+
+
+@pytest.fixture
+def indexes(db, fb_access):
+    return IndexSet.build(db, fb_access)
+
+
+class TestUpdate:
+    def test_constructors(self):
+        insert = Update.insert("friend", ("p0", "f9"))
+        delete = Update.delete("friend", ("p0", "f9"))
+        assert insert.kind == "insert"
+        assert delete.kind == "delete"
+        assert insert.row == ("p0", "f9")
+
+
+class TestApplyUpdates:
+    def test_insert_updates_database_and_indexes(self, db, indexes, fb_access):
+        psi1 = next(c for c in fb_access if c.name == "psi1")
+        report = apply_updates(
+            db, indexes, fb_access, [Update.insert("friend", ("p0", "f3"))]
+        )
+        assert report.applied == 1
+        assert ("p0", "f3") in db.relation("friend")
+        assert ("f3", "p0") in indexes.index_for(psi1).lookup(("p0",))
+        assert report.work_units > 0
+
+    def test_duplicate_insert_skipped(self, db, indexes, fb_access):
+        report = apply_updates(
+            db, indexes, fb_access, [Update.insert("friend", ("p0", "f1"))]
+        )
+        assert report.applied == 0
+        assert report.skipped == 1
+
+    def test_delete_updates_indexes(self, db, indexes, fb_access):
+        psi1 = next(c for c in fb_access if c.name == "psi1")
+        report = apply_updates(
+            db, indexes, fb_access, [Update.delete("friend", ("p0", "f1"))]
+        )
+        assert report.applied == 1
+        assert ("f1", "p0") not in indexes.index_for(psi1).lookup(("p0",))
+
+    def test_delete_missing_row_skipped(self, db, indexes, fb_access):
+        report = apply_updates(
+            db, indexes, fb_access, [Update.delete("friend", ("p9", "f9"))]
+        )
+        assert report.skipped == 1
+
+    def test_violation_reported(self, fb_schema):
+        tight = AccessSchema(
+            [AccessConstraint.of("friend", "pid", "fid", 1, name="tight")],
+            schema=fb_schema,
+        )
+        database = Database(fb_schema)
+        database.insert("friend", ("p0", "f1"))
+        indexes = IndexSet.build(database, tight)
+        report = apply_updates(
+            database, indexes, tight, [Update.insert("friend", ("p0", "f2"))]
+        )
+        assert len(report.violated) == 1
+
+    def test_queries_stay_correct_after_updates(self, fb_database, fb_access):
+        from repro.core.planner import plan_query
+        from repro.evaluator.algebra import evaluate
+        from repro.evaluator.executor import execute_plan
+
+        indexes = IndexSet.build(fb_database, fb_access)
+        updates = [
+            Update.insert("cafe", ("c_up", "nyc")),
+            Update.insert("friend", ("p0", "p_up")),
+            Update.insert("dine", ("p_up", "c_up", "may", 2015)),
+            Update.delete("cafe", next(iter(fb_database.relation("cafe").rows))),
+        ]
+        apply_updates(fb_database, indexes, fb_access, updates)
+        q1 = facebook.query_q1()
+        plan = plan_query(q1, fb_access)
+        assert execute_plan(plan, fb_database, indexes).rows == evaluate(q1, fb_database).rows
+
+
+class TestMaintainConstraints:
+    def test_no_violation_returns_same_schema(self, db, indexes, fb_access):
+        schema, report = maintain_constraints(
+            db, indexes, fb_access, [Update.insert("friend", ("p1", "f1"))]
+        )
+        assert schema is fb_access
+        assert not report.adjusted
+
+    def test_bound_raised_when_outgrown(self, fb_schema):
+        tight = AccessSchema(
+            [AccessConstraint.of("friend", "pid", "fid", 2, name="tight")],
+            schema=fb_schema,
+        )
+        database = Database(fb_schema)
+        database.insert_many("friend", [("p0", "f1"), ("p0", "f2")])
+        indexes = IndexSet.build(database, tight)
+        updates = [Update.insert("friend", ("p0", "f3"))]
+        adjusted, report = maintain_constraints(database, indexes, tight, updates)
+        new_constraint = next(iter(adjusted))
+        assert new_constraint.bound >= 3
+        assert report.adjusted
+        assert database.satisfies_schema(adjusted)
+
+    def test_work_independent_of_database_size(self, fb_access):
+        """Proposition 12: maintenance work depends on |ΔD| and A only."""
+        small = facebook.generate(scale=30, seed=2)
+        large = facebook.generate(scale=150, seed=2)
+        updates = [Update.insert("friend", (f"px{i}", f"fy{i}")) for i in range(20)]
+        small_report = apply_updates(
+            small, IndexSet.build(small, fb_access), fb_access, updates
+        )
+        large_report = apply_updates(
+            large, IndexSet.build(large, fb_access), fb_access, updates
+        )
+        assert small_report.work_units == large_report.work_units

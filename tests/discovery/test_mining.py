@@ -1,0 +1,97 @@
+"""Unit tests for access-constraint discovery."""
+
+import pytest
+
+from repro.core.coverage import is_covered
+from repro.core.errors import DiscoveryError
+from repro.discovery.mining import DiscoveryConfig, discover_access_schema, discover_constraints
+from repro.storage.database import Database
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def small_fb() -> Database:
+    return facebook.generate(scale=25, seed=11)
+
+
+class TestDiscoveryConfig:
+    def test_defaults(self):
+        config = DiscoveryConfig()
+        assert config.max_lhs_size == 2
+        assert config.slack == 1.0
+
+    def test_invalid_values(self):
+        with pytest.raises(DiscoveryError):
+            DiscoveryConfig(max_lhs_size=0)
+        with pytest.raises(DiscoveryError):
+            DiscoveryConfig(slack=0.5)
+
+
+class TestDiscoverConstraints:
+    def test_small_domain_constraints_found(self, small_fb):
+        constraints = discover_constraints(small_fb.relation("dine"))
+        domain = [c for c in constraints if not c.lhs]
+        assert any("month" in c.rhs for c in domain)
+        assert any("year" in c.rhs for c in domain)
+
+    def test_key_constraint_found(self, small_fb):
+        constraints = discover_constraints(small_fb.relation("cafe"))
+        keys = [c for c in constraints if c.name and c.name.startswith("key")]
+        assert keys
+        assert keys[0].lhs == frozenset({"cid"})
+        assert keys[0].bound == 1
+
+    def test_discovered_constraints_hold_on_data(self, small_fb):
+        for relation_name in small_fb.relation_names():
+            for constraint in discover_constraints(small_fb.relation(relation_name)):
+                assert small_fb.satisfies(constraint), str(constraint)
+
+    def test_max_bound_filters_wide_groups(self, small_fb):
+        tight = DiscoveryConfig(max_bound=2, domain_threshold=2)
+        loose = DiscoveryConfig(max_bound=10_000, domain_threshold=10_000)
+        tight_constraints = discover_constraints(small_fb.relation("dine"), tight)
+        loose_constraints = discover_constraints(small_fb.relation("dine"), loose)
+        assert len(tight_constraints) < len(loose_constraints)
+
+    def test_slack_inflates_bounds(self, small_fb):
+        exact = discover_constraints(small_fb.relation("friend"), DiscoveryConfig())
+        slack = discover_constraints(small_fb.relation("friend"), DiscoveryConfig(slack=2.0))
+        exact_by_shape = {(c.relation, c.lhs, c.rhs): c.bound for c in exact}
+        for constraint in slack:
+            shape = (constraint.relation, constraint.lhs, constraint.rhs)
+            if shape in exact_by_shape:
+                assert constraint.bound >= exact_by_shape[shape]
+
+    def test_dominated_candidates_pruned(self, small_fb):
+        """A superset LHS for the same RHS is kept only if it tightens the bound."""
+        constraints = discover_constraints(
+            small_fb.relation("dine"), DiscoveryConfig(max_lhs_size=3, max_bound=1000)
+        )
+        mined = [(c.lhs, c.rhs, c.bound) for c in constraints if c.lhs]
+        for lhs_a, rhs_a, bound_a in mined:
+            for lhs_b, rhs_b, bound_b in mined:
+                if rhs_a == rhs_b and lhs_a < lhs_b:
+                    assert bound_b < bound_a, (
+                        f"dominated constraint kept: {lhs_b}->{rhs_b} (bound {bound_b}) "
+                        f"despite {lhs_a}->{rhs_a} (bound {bound_a})"
+                    )
+
+
+class TestDiscoverAccessSchema:
+    def test_schema_wide_discovery(self, small_fb):
+        access = discover_access_schema(small_fb)
+        assert len(access) > 0
+        relations_covered = {c.relation for c in access}
+        assert relations_covered == set(small_fb.relation_names())
+
+    def test_relations_filter(self, small_fb):
+        access = discover_access_schema(small_fb, relations=["cafe"])
+        assert {c.relation for c in access} == {"cafe"}
+
+    def test_discovered_schema_enables_coverage(self, small_fb):
+        """Queries over constraint attributes become covered under mined constraints."""
+        access = discover_access_schema(
+            small_fb, DiscoveryConfig(max_lhs_size=3, max_bound=200)
+        )
+        q1 = facebook.query_q1()
+        assert is_covered(q1, access)

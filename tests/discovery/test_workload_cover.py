@@ -1,0 +1,85 @@
+"""Tests for workload-level access-constraint selection (Section 9 future work)."""
+
+import pytest
+
+from repro.core.coverage import is_covered
+from repro.discovery.workload_cover import cover_workload, cover_workload_from_data
+from repro.workloads import WORKLOADS, RandomQueryGenerator, facebook
+
+
+@pytest.fixture
+def fb_queries():
+    return [
+        facebook.query_q1(),
+        facebook.query_q3(),
+        facebook.query_q0_prime(),
+        facebook.query_q2(),  # not coverable under A0 at all
+    ]
+
+
+class TestCoverWorkload:
+    def test_covers_all_coverable_queries(self, fb_queries, fb_access):
+        result = cover_workload(fb_queries, fb_access)
+        assert set(result.covered_queries) == {0, 1, 2}
+        assert result.uncovered_queries == (3,)
+        assert 0 < result.coverage_ratio < 1
+        for index in result.covered_queries:
+            assert is_covered(fb_queries[index], result.selected)
+
+    def test_selection_is_minimal_for_covered_queries(self, fb_queries, fb_access):
+        result = cover_workload(fb_queries, fb_access)
+        for constraint in result.selected:
+            reduced = result.selected.without(constraint)
+            still_all_covered = all(
+                is_covered(fb_queries[index], reduced) for index in result.covered_queries
+            )
+            assert not still_all_covered, f"{constraint} is redundant"
+
+    def test_cost_not_worse_than_full_schema(self, fb_queries, fb_access):
+        result = cover_workload(fb_queries, fb_access)
+        assert result.cost <= sum(c.bound for c in fb_access)
+
+    def test_usefulness_reported(self, fb_queries, fb_access):
+        result = cover_workload(fb_queries, fb_access)
+        assert set(result.usefulness) == set(result.selected)
+        assert all(count >= 1 for count in result.usefulness.values())
+
+    def test_max_constraints_budget(self, fb_queries, fb_access):
+        result = cover_workload(fb_queries, fb_access, max_constraints=2)
+        assert len(result.selected) <= 2
+
+    def test_empty_workload(self, fb_access):
+        result = cover_workload([], fb_access)
+        assert result.covered_queries == ()
+        assert result.uncovered_queries == ()
+        assert len(result.selected) == 0
+
+    def test_single_covered_query_matches_per_query_minimization(self, fb_access):
+        """For a single query the workload cover also yields a covering subset."""
+        query = facebook.query_q1()
+        result = cover_workload([query], fb_access)
+        assert result.covered_queries == (0,)
+        assert is_covered(query, result.selected)
+
+
+class TestCoverWorkloadOnGeneratedQueries:
+    def test_tfacc_workload_cover(self):
+        workload = WORKLOADS["TFACC"]
+        generator = RandomQueryGenerator(workload, seed=51, sample_scale=40)
+        queries = [q for _, q in generator.generate_batch(12, unidiff_range=(0, 1))]
+        result = cover_workload(queries, workload.access_schema)
+        # every query that the full schema covers must be covered by the selection
+        expected = {
+            index
+            for index, query in enumerate(queries)
+            if is_covered(query, workload.access_schema)
+        }
+        assert set(result.covered_queries) == expected
+        assert len(result.selected) <= len(workload.access_schema)
+
+    def test_cover_from_mined_candidates(self):
+        database = facebook.generate(scale=30, seed=17)
+        queries = [facebook.query_q1(), facebook.query_q3()]
+        result = cover_workload_from_data(queries, database)
+        for index in result.covered_queries:
+            assert is_covered(queries[index], result.selected)

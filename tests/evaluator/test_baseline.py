@@ -1,0 +1,64 @@
+"""Unit tests for the conventional-DBMS baseline (evalDBMS)."""
+
+import pytest
+
+from repro.core.query import Relation, eq
+from repro.evaluator.algebra import evaluate
+from repro.evaluator.baseline import ConventionalEvaluator, evaluate_conventional
+from repro.storage.index import IndexSet
+from repro.workloads import facebook
+
+
+class TestBaselineCorrectness:
+    def test_matches_reference_on_q1(self, fb_q1, fb_database, fb_access):
+        baseline = evaluate_conventional(fb_q1, fb_database, fb_access)
+        assert baseline.rows == evaluate(fb_q1, fb_database).rows
+
+    def test_matches_reference_on_q0(self, fb_q0, fb_database, fb_access):
+        baseline = evaluate_conventional(fb_q0, fb_database, fb_access)
+        assert baseline.rows == evaluate(fb_q0, fb_database).rows
+
+    def test_matches_reference_without_access_schema(self, fb_q2, fb_database):
+        baseline = evaluate_conventional(fb_q2, fb_database)
+        assert baseline.rows == evaluate(fb_q2, fb_database).rows
+
+
+class TestBaselineAccessBehaviour:
+    def test_index_scan_on_constant_key(self, fb_schema, fb_database, fb_access):
+        """σ_{pid=p0}(friend) uses the ψ1 index: only p0's tuples are read."""
+        friend = Relation.from_schema(fb_schema, "friend")
+        query = friend.select(eq(friend["pid"], "p0")).project([friend["fid"]])
+        baseline = evaluate_conventional(query, fb_database, fb_access)
+        p0_degree = sum(1 for row in fb_database.relation("friend") if row[0] == "p0")
+        assert baseline.counter.scanned == p0_degree
+        assert baseline.counter.scanned < len(fb_database.relation("friend"))
+
+    def test_full_scan_without_matching_index(self, fb_schema, fb_database, fb_access):
+        """A selection on a non-key attribute cannot use any constraint index."""
+        friend = Relation.from_schema(fb_schema, "friend")
+        query = friend.select(eq(friend["fid"], "p1")).project([friend["pid"]])
+        baseline = evaluate_conventional(query, fb_database, fb_access)
+        assert baseline.counter.scanned == len(fb_database.relation("friend"))
+
+    def test_join_scans_grow_with_database(self, fb_access):
+        """The baseline's data access grows with |D| (the Figure 5 shape)."""
+        q1 = facebook.query_q1()
+        small = facebook.generate(scale=30, seed=5)
+        large = facebook.generate(scale=120, seed=5)
+        small_access = evaluate_conventional(q1, small, fb_access).counter.total
+        large_access = evaluate_conventional(q1, large, fb_access).counter.total
+        assert large_access > small_access
+
+    def test_access_ratio(self, fb_q1, fb_database, fb_access):
+        baseline = evaluate_conventional(fb_q1, fb_database, fb_access)
+        assert 0 < baseline.access_ratio(fb_database.size) <= 1.0
+
+    def test_counter_breakdown_only_scans(self, fb_q1, fb_database, fb_access):
+        baseline = evaluate_conventional(fb_q1, fb_database, fb_access)
+        assert baseline.counter.fetched == 0
+        assert baseline.counter.scanned == baseline.counter.total
+
+    def test_evaluator_with_indexes_argument(self, fb_q1, fb_database, fb_access, fb_indexes):
+        evaluator = ConventionalEvaluator(fb_database, fb_access, fb_indexes)
+        result = evaluator.evaluate(fb_q1)
+        assert result.rows == evaluate(fb_q1, fb_database).rows

@@ -1,0 +1,80 @@
+"""Property-based tests for coverage checking (CovChk invariants)."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.coverage import CoverageChecker, check_coverage
+from repro.core.minimize import minimize_access
+from repro.core.rewrite import guard_differences, prune_unsatisfiable_branches
+from repro.evaluator.algebra import evaluate
+from repro.workloads import WORKLOADS, RandomQueryGenerator
+
+WORKLOAD = WORKLOADS["TFACC"]
+_DATABASE = WORKLOAD.database(scale=30, seed=13)
+_GENERATOR_CACHE: dict[int, RandomQueryGenerator] = {}
+
+
+def generated_query(seed: int, n_sel: int, n_join: int, n_unidiff: int):
+    generator = _GENERATOR_CACHE.get(seed)
+    if generator is None:
+        generator = RandomQueryGenerator(WORKLOAD, database=_DATABASE, seed=seed)
+        _GENERATOR_CACHE[seed] = generator
+    return generator.generate(n_sel=n_sel, n_join=n_join, n_unidiff=n_unidiff)
+
+
+query_parameters = st.tuples(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=2),
+)
+
+
+class TestCoverageInvariants:
+    @given(query_parameters, st.floats(min_value=0.2, max_value=0.9), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_coverage_monotone_in_access_schema(self, parameters, fraction, subset_seed):
+        """If a subset of A covers Q then A covers Q."""
+        query = generated_query(*parameters)
+        checker = CoverageChecker(query)
+        subset = WORKLOAD.access_schema.sample_fraction(fraction, seed=subset_seed)
+        if checker.is_covered(subset):
+            assert checker.is_covered(WORKLOAD.access_schema)
+
+    @given(query_parameters)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_covered_means_fetchable_and_indexed(self, parameters):
+        query = generated_query(*parameters)
+        result = check_coverage(query, WORKLOAD.access_schema)
+        assert result.is_covered == (result.is_fetchable and result.is_indexed)
+
+    @given(query_parameters)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_checker_agrees_with_one_shot_check(self, parameters):
+        query = generated_query(*parameters)
+        checker = CoverageChecker(query)
+        assert (
+            checker.is_covered(WORKLOAD.access_schema)
+            == check_coverage(query, WORKLOAD.access_schema).is_covered
+        )
+
+    @given(query_parameters)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_minimized_subset_still_covers(self, parameters):
+        query = generated_query(*parameters)
+        checker = CoverageChecker(query)
+        if not checker.is_covered(WORKLOAD.access_schema):
+            return
+        result = minimize_access(query, WORKLOAD.access_schema)
+        assert checker.is_covered(result.selected)
+        assert result.cost <= sum(c.bound for c in WORKLOAD.access_schema)
+
+
+class TestRewriteInvariants:
+    @given(query_parameters)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rewrites_preserve_semantics(self, parameters):
+        """Guarding differences and pruning unsat branches never change Q(D)."""
+        query = generated_query(*parameters)
+        truth = evaluate(query, _DATABASE).rows
+        assert evaluate(guard_differences(query), _DATABASE).rows == truth
+        assert evaluate(prune_unsatisfiable_branches(query), _DATABASE).rows == truth

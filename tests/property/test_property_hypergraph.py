@@ -1,0 +1,113 @@
+"""Property-based cross-validation of hypergraph reachability against FD closure.
+
+The ⟨Q,A⟩-hypergraph encodes induced FDs; a node is reachable from the root
+iff the corresponding attribute is in the FD closure of the constant
+attributes (this is the heart of Lemmas 4 and 7).  Here we check the two
+implementations against each other on random FD sets, plus structural
+hyperpath invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fd import FDSet, FunctionalDependency
+from repro.core.hypergraph import DirectedHypergraph, Hyperedge
+
+TOKENS = ["a", "b", "c", "d", "e", "f", "g"]
+ROOT = "__root__"
+
+token_sets = st.sets(st.sampled_from(TOKENS), min_size=0, max_size=3)
+nonempty_token_sets = st.sets(st.sampled_from(TOKENS), min_size=1, max_size=3)
+
+
+@st.composite
+def fd_lists(draw):
+    count = draw(st.integers(min_value=0, max_value=8))
+    return [
+        FunctionalDependency.of(draw(token_sets), draw(nonempty_token_sets))
+        for _ in range(count)
+    ]
+
+
+def hypergraph_for(fds, seed):
+    """Encode FDs the same way build_qa_hypergraph encodes induced FDs."""
+    graph = DirectedHypergraph()
+    graph.add_node(ROOT)
+    for token in seed:
+        graph.add_edge(Hyperedge(head=frozenset({ROOT}), tail=token))
+    for index, dependency in enumerate(fds):
+        new_tokens = dependency.rhs - dependency.lhs
+        if not new_tokens:
+            continue
+        set_node = ("set", index)
+        head = dependency.lhs if dependency.lhs else frozenset({ROOT})
+        graph.add_edge(Hyperedge(head=frozenset(head), tail=set_node, weight=index))
+        for token in new_tokens:
+            graph.add_edge(Hyperedge(head=frozenset({set_node}), tail=token))
+    return graph
+
+
+class TestReachabilityEqualsClosure:
+    @given(fd_lists(), token_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_reachable_tokens_equal_fd_closure(self, fds, seed):
+        graph = hypergraph_for(fds, seed)
+        reachable = {
+            node
+            for node in graph.reachable({ROOT})
+            if isinstance(node, str) and node != ROOT
+        }
+        closure = set(FDSet(fds).closure(seed))
+        assert reachable == (closure | set(seed))
+
+    @given(fd_lists(), token_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_hyperpath_exists_iff_reachable(self, fds, seed):
+        graph = hypergraph_for(fds, seed)
+        reachable = graph.reachable({ROOT})
+        for token in TOKENS:
+            if token not in graph:
+                continue
+            path = graph.find_hyperpath({ROOT}, token)
+            assert (path is not None) == (token in reachable)
+
+    @given(fd_lists(), token_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_hyperpath_edges_form_valid_derivation(self, fds, seed):
+        """Condition (a) of the hyperpath definition: heads are always derivable."""
+        graph = hypergraph_for(fds, seed)
+        for token in TOKENS:
+            if token not in graph:
+                continue
+            path = graph.find_hyperpath({ROOT}, token)
+            if path is None:
+                continue
+            derived = set(path.source)
+            for edge in path.edges:
+                assert edge.head <= derived
+                derived.add(edge.tail)
+            if path.edges:
+                assert path.edges[-1].tail == token
+
+    @given(fd_lists(), token_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_shortest_path_never_beats_reachability(self, fds, seed):
+        """Shortest hyperpaths reach exactly the reachable nodes."""
+        graph = hypergraph_for(fds, seed)
+        dist, _ = graph.shortest_hyperpaths({ROOT})
+        reachable = graph.reachable({ROOT})
+        assert set(dist) == set(reachable)
+
+    @given(fd_lists(), token_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_shortest_hyperpath_weight_le_arbitrary_hyperpath(self, fds, seed):
+        graph = hypergraph_for(fds, seed)
+        for token in TOKENS:
+            if token not in graph:
+                continue
+            any_path = graph.find_hyperpath({ROOT}, token)
+            best_path = graph.shortest_hyperpath({ROOT}, token)
+            if any_path is None:
+                assert best_path is None
+            else:
+                assert best_path is not None
+                assert best_path.weight <= any_path.weight

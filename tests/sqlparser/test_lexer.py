@@ -1,0 +1,79 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_and_identifiers(self):
+        tokens = kinds("SELECT cid FROM cafe")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.IDENTIFIER, "cid"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.IDENTIFIER, "cafe"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].type is TokenType.KEYWORD
+        assert tokenize("SeLeCt")[0].type is TokenType.KEYWORD
+
+    def test_string_literal(self):
+        tokens = kinds("WHERE city = 'new york'")
+        assert (TokenType.STRING, "new york") in tokens
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = kinds("name = 'o''hare'")
+        assert (TokenType.STRING, "o'hare") in tokens
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("WHERE city = 'nyc")
+
+    def test_quoted_identifier(self):
+        tokens = kinds('SELECT "weird name" FROM t')
+        assert (TokenType.IDENTIFIER, "weird name") in tokens
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(ParseError):
+            tokenize('SELECT "name FROM t')
+
+    def test_numbers_integer_and_float(self):
+        tokens = kinds("year = 2015 AND score = 2.5")
+        assert (TokenType.NUMBER, "2015") in tokens
+        assert (TokenType.NUMBER, "2.5") in tokens
+
+    def test_qualified_column_is_not_a_float(self):
+        tokens = kinds("d.cid = 1")
+        values = [v for _, v in tokens]
+        assert values == ["d", ".", "cid", "=", "1"]
+
+    def test_operators(self):
+        tokens = kinds("a <= 1 AND b <> 2 AND c != 3 AND d >= 4")
+        operators = [v for t, v in tokens if t is TokenType.OPERATOR]
+        assert operators == ["<=", "<>", "!=", ">="]
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT cid -- the id\nFROM cafe")
+        assert (TokenType.IDENTIFIER, "cafe") in tokens
+        assert all("the id" not in v for _, v in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT @ FROM t")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_token_matches_helper(self):
+        token = Token(TokenType.KEYWORD, "Select", 0)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert not token.matches(TokenType.IDENTIFIER, "select")
+        assert token.matches(TokenType.KEYWORD)

@@ -1,0 +1,47 @@
+"""Unit tests for access counters."""
+
+from repro.storage.counters import AccessCounter
+
+
+class TestAccessCounter:
+    def test_record_fetch(self):
+        counter = AccessCounter()
+        counter.record_fetch("friend", 5)
+        counter.record_fetch("dine", 3)
+        assert counter.fetched == 8
+        assert counter.index_probes == 2
+        assert counter.total == 8
+        assert counter.per_relation == {"friend": 5, "dine": 3}
+
+    def test_record_scan(self):
+        counter = AccessCounter()
+        counter.record_scan("cafe", 100)
+        assert counter.scanned == 100
+        assert counter.fetched == 0
+        assert counter.total == 100
+
+    def test_reset(self):
+        counter = AccessCounter()
+        counter.record_fetch("r", 1)
+        counter.record_scan("r", 2)
+        counter.reset()
+        assert counter.total == 0
+        assert counter.per_relation == {}
+        assert counter.index_probes == 0
+
+    def test_merge(self):
+        a = AccessCounter()
+        b = AccessCounter()
+        a.record_fetch("r", 2)
+        b.record_fetch("r", 3)
+        b.record_scan("s", 10)
+        a.merge(b)
+        assert a.fetched == 5
+        assert a.scanned == 10
+        assert a.per_relation == {"r": 5, "s": 10}
+
+    def test_ratio(self):
+        counter = AccessCounter()
+        counter.record_fetch("r", 5)
+        assert counter.ratio(100) == 0.05
+        assert counter.ratio(0) == 0.0

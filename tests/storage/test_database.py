@@ -1,0 +1,107 @@
+"""Unit tests for in-memory databases."""
+
+import pytest
+
+from repro.core.access import AccessConstraint, AccessSchema
+from repro.core.errors import StorageError
+from repro.storage.database import Database
+from repro.workloads import facebook
+
+
+class TestDatabaseBasics:
+    def test_relations_created_from_schema(self, fb_schema):
+        database = Database(fb_schema)
+        assert set(database.relation_names()) == {"friend", "dine", "cafe"}
+        assert database.size == 0
+
+    def test_unknown_relation(self, fb_schema):
+        database = Database(fb_schema)
+        with pytest.raises(StorageError):
+            database.relation("restaurant")
+
+    def test_insert_and_size(self, fb_schema):
+        database = Database(fb_schema)
+        database.insert("friend", ("p0", "p1"))
+        database.insert_many("cafe", [("c1", "nyc"), ("c2", "boston")])
+        assert database.size == 3
+        assert len(database) == 3
+        assert database.cell_size == 2 + 2 * 2
+
+    def test_delete(self, fb_schema):
+        database = Database(fb_schema)
+        database.insert("friend", ("p0", "p1"))
+        assert database.delete("friend", ("p0", "p1"))
+        assert database.size == 0
+
+    def test_contains_and_iter(self, fb_database):
+        assert "dine" in fb_database
+        assert "missing" not in fb_database
+        assert len(list(fb_database)) == 3
+
+
+class TestConstraintSatisfaction:
+    def test_generated_data_satisfies_a0(self, fb_database, fb_access):
+        assert fb_database.satisfies_schema(fb_access)
+        assert fb_database.violations(fb_access) == []
+
+    def test_violation_detected(self, fb_schema):
+        database = Database(fb_schema)
+        constraint = AccessConstraint.of("friend", "pid", "fid", 2)
+        database.insert_many("friend", [("p0", f"f{i}") for i in range(5)])
+        assert not database.satisfies(constraint)
+        schema = AccessSchema([constraint], schema=fb_schema)
+        assert database.violations(schema) == [constraint]
+
+    def test_empty_lhs_constraint(self, fb_schema):
+        database = Database(fb_schema)
+        database.insert_many("dine", [("p0", "c1", m, 2015) for m in ("jan", "feb", "mar")])
+        months = AccessConstraint.of("dine", (), "month", 12)
+        too_tight = AccessConstraint.of("dine", (), "month", 2)
+        assert database.satisfies(months)
+        assert not database.satisfies(too_tight)
+
+
+class TestScaling:
+    def test_scaled_reduces_size(self, fb_database):
+        half = fb_database.scaled(0.5, seed=1)
+        assert 0 < half.size < fb_database.size
+        assert half.schema == fb_database.schema
+
+    def test_scaled_preserves_constraints(self, fb_database, fb_access):
+        """Dropping tuples can only shrink groups, so D' still satisfies A."""
+        for factor in (0.25, 0.5):
+            assert fb_database.scaled(factor, seed=3).satisfies_schema(fb_access)
+
+    def test_scaled_is_deterministic(self, fb_database):
+        a = fb_database.scaled(0.3, seed=9)
+        b = fb_database.scaled(0.3, seed=9)
+        assert a.size == b.size
+        assert {r.schema.name: set(r.rows) for r in a} == {
+            r.schema.name: set(r.rows) for r in b
+        }
+
+    def test_scale_one_returns_copy_with_same_rows(self, fb_database):
+        copy = fb_database.scaled(1.0)
+        assert copy.size == fb_database.size
+
+    def test_invalid_factor(self, fb_database):
+        with pytest.raises(StorageError):
+            fb_database.scaled(0.0)
+        with pytest.raises(StorageError):
+            fb_database.scaled(1.5)
+
+
+class TestPersistence:
+    def test_directory_round_trip(self, fb_schema, tmp_path):
+        database = Database(fb_schema)
+        database.insert_many("cafe", [("c1", "nyc"), ("c2", "boston")])
+        database.insert("friend", ("p0", "p1"))
+        database.to_directory(tmp_path / "db")
+        loaded = Database.from_directory(fb_schema, tmp_path / "db")
+        assert loaded.size == database.size
+        assert set(loaded.relation("cafe").rows) == set(database.relation("cafe").rows)
+
+    def test_missing_files_are_tolerated(self, fb_schema, tmp_path):
+        (tmp_path / "partial").mkdir()
+        loaded = Database.from_directory(fb_schema, tmp_path / "partial")
+        assert loaded.size == 0

@@ -1,0 +1,101 @@
+"""Unit tests for relation instances."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import RelationSchema
+from repro.storage.relation import RelationInstance
+
+
+@pytest.fixture
+def cafe_schema():
+    return RelationSchema("cafe", ["cid", "city"])
+
+
+@pytest.fixture
+def cafe(cafe_schema):
+    return RelationInstance(cafe_schema, [("c1", "nyc"), ("c2", "boston")])
+
+
+class TestInsertDelete:
+    def test_insert_positional_and_mapping(self, cafe):
+        assert cafe.insert(("c3", "austin"))
+        assert cafe.insert({"cid": "c4", "city": "denver"})
+        assert len(cafe) == 4
+
+    def test_duplicate_insert_is_noop(self, cafe):
+        assert not cafe.insert(("c1", "nyc"))
+        assert len(cafe) == 2
+
+    def test_insert_wrong_arity(self, cafe):
+        with pytest.raises(StorageError, match="arity"):
+            cafe.insert(("c5",))
+
+    def test_insert_missing_attribute(self, cafe):
+        with pytest.raises(StorageError, match="missing attributes"):
+            cafe.insert({"cid": "c5"})
+
+    def test_insert_many_counts_new_rows(self, cafe):
+        added = cafe.insert_many([("c1", "nyc"), ("c9", "miami")])
+        assert added == 1
+
+    def test_delete(self, cafe):
+        assert cafe.delete(("c1", "nyc"))
+        assert not cafe.delete(("c1", "nyc"))
+        assert len(cafe) == 1
+        assert ("c1", "nyc") not in cafe
+
+    def test_contains(self, cafe):
+        assert ("c1", "nyc") in cafe
+        assert {"cid": "c2", "city": "boston"} in cafe
+        assert ("c2", "nyc") not in cafe
+
+
+class TestAccessors:
+    def test_rows_and_iteration(self, cafe):
+        assert set(cafe.rows) == {("c1", "nyc"), ("c2", "boston")}
+        assert sorted(cafe) == sorted(cafe.rows)
+
+    def test_to_dicts(self, cafe):
+        dicts = cafe.to_dicts()
+        assert {"cid": "c1", "city": "nyc"} in dicts
+        assert len(dicts) == 2
+
+    def test_project(self, cafe):
+        assert cafe.project(["city"]) == {("nyc",), ("boston",)}
+        assert cafe.distinct_count(["city"]) == 2
+
+    def test_group_max_multiplicity(self):
+        schema = RelationSchema("dine", ["pid", "cid"])
+        relation = RelationInstance(
+            schema, [("p0", "c1"), ("p0", "c2"), ("p0", "c3"), ("p1", "c1")]
+        )
+        assert relation.group_max_multiplicity(["pid"], ["cid"]) == 3
+        assert relation.group_max_multiplicity(["cid"], ["pid"]) == 2
+        assert relation.group_max_multiplicity(["pid", "cid"], ["cid"]) == 1
+
+    def test_group_max_multiplicity_empty_relation(self, cafe_schema):
+        empty = RelationInstance(cafe_schema)
+        assert empty.group_max_multiplicity(["cid"], ["city"]) == 0
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, cafe, cafe_schema, tmp_path):
+        path = tmp_path / "cafe.csv"
+        cafe.to_csv(path)
+        loaded = RelationInstance.from_csv(cafe_schema, path)
+        # CSV stringifies values; compare on string forms
+        assert {tuple(map(str, row)) for row in cafe.rows} == set(loaded.rows)
+
+    def test_header_mismatch_rejected(self, cafe, tmp_path):
+        path = tmp_path / "cafe.csv"
+        cafe.to_csv(path)
+        other_schema = RelationSchema("cafe", ["a", "b"])
+        with pytest.raises(StorageError, match="header"):
+            RelationInstance.from_csv(other_schema, path)
+
+    def test_empty_file(self, cafe_schema, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        loaded = RelationInstance.from_csv(cafe_schema, path)
+        assert len(loaded) == 0

@@ -1,0 +1,97 @@
+"""Tests for the random RA query generator."""
+
+import pytest
+
+from repro.core.coverage import check_coverage
+from repro.core.query import Difference, Union
+from repro.core.spc import max_spc_subqueries
+from repro.evaluator.algebra import evaluate
+from repro.workloads import WORKLOADS, RandomQueryGenerator
+from repro.workloads.generator import QueryParameters
+
+
+@pytest.fixture(scope="module")
+def airca_generator():
+    workload = WORKLOADS["AIRCA"]
+    return RandomQueryGenerator(workload, seed=123, sample_scale=40)
+
+
+class TestGeneration:
+    def test_generated_query_is_well_formed(self, airca_generator):
+        query = airca_generator.generate(n_sel=4, n_join=2, n_unidiff=0)
+        assert query.size > 0
+        assert query.arity() >= 1
+        # normalization must succeed (distinct occurrence names)
+        names = [r.name for r in query.relations()]
+        assert len(names) == len(set(names))
+
+    def test_join_count_respected(self, airca_generator):
+        for n_join in (0, 1, 3):
+            query = airca_generator.generate(n_sel=4, n_join=n_join, n_unidiff=0)
+            relations = list(query.relations())
+            assert len(relations) <= n_join + 1
+
+    def test_unidiff_creates_set_operators(self, airca_generator):
+        query = airca_generator.generate(n_sel=4, n_join=1, n_unidiff=2)
+        set_nodes = [
+            node for node in query.subqueries() if isinstance(node, (Union, Difference))
+        ]
+        assert len(set_nodes) == 2
+        assert len(max_spc_subqueries(query)) == 3
+
+    def test_selection_atoms_count(self, airca_generator):
+        query = airca_generator.generate(n_sel=6, n_join=1, n_unidiff=0)
+        # the block has one selection node with exactly n_sel atoms
+        conditions = [
+            node.condition.atom_count
+            for node in query.subqueries()
+            if type(node).__name__ == "Selection"
+        ]
+        assert sum(conditions) == 6
+
+    def test_determinism_per_seed(self):
+        workload = WORKLOADS["TFACC"]
+        a = RandomQueryGenerator(workload, seed=5, sample_scale=30).generate_batch(5)
+        b = RandomQueryGenerator(workload, seed=5, sample_scale=30).generate_batch(5)
+        assert [p for p, _ in a] == [p for p, _ in b]
+        assert [q.size for _, q in a] == [q.size for _, q in b]
+
+    def test_batch_parameters_in_range(self, airca_generator):
+        batch = airca_generator.generate_batch(
+            10, sel_range=(4, 9), join_range=(0, 5), unidiff_range=(0, 5)
+        )
+        for parameters, _ in batch:
+            assert isinstance(parameters, QueryParameters)
+            assert 4 <= parameters.n_sel <= 9
+            assert 0 <= parameters.n_join <= 5
+            assert 0 <= parameters.n_unidiff <= 5
+
+
+class TestGeneratedQueriesUsable:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_queries_checkable_and_evaluable(self, name):
+        workload = WORKLOADS[name]
+        database = workload.database(scale=40, seed=1)
+        generator = RandomQueryGenerator(workload, database=database, seed=7)
+        some_covered = False
+        for _, query in generator.generate_batch(15):
+            result = check_coverage(query, workload.access_schema)
+            some_covered = some_covered or result.is_covered
+            # reference evaluation must not crash, whatever was generated
+            evaluate(query, database)
+        assert some_covered, "expected at least one covered query out of 15"
+
+    def test_constants_come_from_data(self, airca_generator):
+        """Selection constants are sampled from the generated instance's values."""
+        query = airca_generator.generate(n_sel=5, n_join=0, n_unidiff=0)
+        from repro.core.query import Constant
+
+        constants = [
+            term.value
+            for node in query.subqueries()
+            if hasattr(node, "condition")
+            for atom in node.condition.atoms()
+            for term in (atom.left, atom.right)
+            if isinstance(term, Constant)
+        ]
+        assert constants
