@@ -1,0 +1,162 @@
+"""Repeated-query throughput: the plan cache + pipelined executor hot path.
+
+A serving engine sees the same (parameterized) queries over and over; the
+paper's boundedness guarantees make each execution touch only ``D_Q``, but the
+wall-clock then hinges on how much work happens *around* the data.  This
+benchmark measures queries/second on repeated covered queries in two modes:
+
+* **cold** — plan cache disabled: every execution re-runs ``CovChk``,
+  ``minA``, ``QPlan`` and plan optimization from scratch;
+* **warm** — plan cache enabled: after the first execution of each query,
+  repeats skip straight to the compiled plan.
+
+It also cross-checks correctness: for every query, the rows produced with
+cache+optimizer on, cache off, optimizer off, and by the reference evaluator
+must be identical.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --quick --output BENCH_hot_path.json
+
+The JSON report records per-workload cold/warm throughput, the speedup, and
+the engine's cache statistics, so the perf trajectory is a tracked number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # allow running without an editable install
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.experiments import select_covered_queries  # noqa: E402
+from repro.core.engine import BoundedEngine  # noqa: E402
+from repro.evaluator.algebra import evaluate  # noqa: E402
+from repro.workloads import WORKLOADS  # noqa: E402
+
+
+def _throughput(engine: BoundedEngine, queries, repeats: int) -> tuple[float, int]:
+    """Execute each query ``repeats`` times; returns (queries/sec, executions)."""
+    executions = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            engine.execute(query)
+            executions += 1
+    elapsed = time.perf_counter() - started
+    return (executions / elapsed) if elapsed > 0 else float("inf"), executions
+
+
+def bench_workload(name: str, *, scale: int, query_count: int, repeats: int) -> dict:
+    workload = WORKLOADS[name]
+    database = workload.database(scale=scale, seed=7)
+    queries = select_covered_queries(
+        workload, count=query_count, seed=7, database=database
+    )
+    if not queries:
+        return {"workload": name, "skipped": "no covered queries generated"}
+
+    cold = BoundedEngine(
+        database, workload.access_schema, check_constraints=False, plan_cache_size=0
+    )
+    warm = BoundedEngine(
+        database, workload.access_schema, check_constraints=False
+    )
+    plain = BoundedEngine(
+        database,
+        workload.access_schema,
+        check_constraints=False,
+        plan_cache_size=0,
+        optimize=False,
+    )
+
+    # Correctness first: cache on/off, optimizer on/off, reference semantics.
+    for query in queries:
+        expected = evaluate(query, database).rows
+        for engine in (cold, warm, plain):
+            rows = engine.execute(query).rows
+            if rows != expected:
+                raise AssertionError(
+                    f"{name}: result mismatch for\n{query}\n"
+                    f"expected {len(expected)} rows, got {len(rows)}"
+                )
+
+    warm.plan_cache.invalidate()  # measure the warm path from a clean cache
+    warm_up_qps, _ = _throughput(warm, queries, 1)  # first pass populates the cache
+    cold_qps, cold_runs = _throughput(cold, queries, repeats)
+    warm_qps, warm_runs = _throughput(warm, queries, repeats)
+
+    return {
+        "workload": name,
+        "scale": scale,
+        "queries": len(queries),
+        "executions": {"cold": cold_runs, "warm": warm_runs},
+        "cold_qps": round(cold_qps, 2),
+        "warm_first_pass_qps": round(warm_up_qps, 2),
+        "warm_qps": round(warm_qps, 2),
+        "speedup": round(warm_qps / cold_qps, 2) if cold_qps else None,
+        "cache": warm.cache_stats(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small scale / few repeats (CI mode)"
+    )
+    parser.add_argument("--scale", type=int, default=None, help="workload scale")
+    parser.add_argument("--queries", type=int, default=None, help="covered queries per workload")
+    parser.add_argument("--repeats", type=int, default=None, help="passes over the query set")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write the JSON report to this path"
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (120 if args.quick else 220)
+    query_count = args.queries if args.queries is not None else (3 if args.quick else 5)
+    repeats = args.repeats if args.repeats is not None else (5 if args.quick else 20)
+
+    results = []
+    for name in sorted(WORKLOADS):
+        result = bench_workload(
+            name, scale=scale, query_count=query_count, repeats=repeats
+        )
+        results.append(result)
+        if "skipped" in result:
+            print(f"{name}: skipped ({result['skipped']})")
+            continue
+        print(
+            f"{name}: cold {result['cold_qps']:.1f} q/s, "
+            f"warm {result['warm_qps']:.1f} q/s, "
+            f"speedup {result['speedup']:.2f}x "
+            f"(hit rate {result['cache']['hit_rate']:.2f})"
+        )
+
+    measured = [r for r in results if "speedup" in r and r["speedup"] is not None]
+    overall = (
+        round(sum(r["speedup"] for r in measured) / len(measured), 2) if measured else None
+    )
+    report = {
+        "benchmark": "hot_path",
+        "mode": "quick" if args.quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": results,
+        "mean_speedup": overall,
+    }
+    print(f"mean warm/cold speedup: {overall}x")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

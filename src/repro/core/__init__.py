@@ -9,12 +9,19 @@ The sub-modules mirror the sections of the paper:
 * :mod:`repro.core.minimize` — access minimization ``minA`` / ``minADAG`` / ``minAE`` (Section 6)
 * :mod:`repro.core.plan2sql` — translation of bounded plans to SQL (Section 7)
 * :mod:`repro.core.engine` — the end-to-end framework of Section 7
+
+Two modules go beyond the paper, toward a serving engine: :mod:`repro.core.
+fingerprint` computes canonical query fingerprints for the engine's plan
+cache, and :mod:`repro.core.optimizer` peephole-optimizes canonical plans
+(hash-join fusion, projection pushdown, common-subplan elimination).
 """
 
 from .access import AccessConstraint, AccessSchema
 from .approximate import ApproximateResult, approximate_answer
 from .coverage import CoverageResult, check_coverage, is_covered
-from .engine import BoundedEngine, EngineResult
+from .engine import BoundedEngine, EngineResult, PlanCache, PreparedQuery
+from .fingerprint import canonical_form, query_fingerprint
+from .optimizer import optimize_plan
 from .minimize import (
     MinimizationResult,
     minimize_access,
@@ -74,6 +81,8 @@ __all__ = [
     "NotCoveredError",
     "ParseError",
     "PlanError",
+    "PlanCache",
+    "PreparedQuery",
     "Product",
     "Projection",
     "Query",
@@ -86,6 +95,7 @@ __all__ = [
     "Selection",
     "StorageError",
     "Union",
+    "canonical_form",
     "check_coverage",
     "eq",
     "find_covered_rewrite",
@@ -96,7 +106,9 @@ __all__ = [
     "minimize_access_acyclic",
     "minimize_access_elementary",
     "minimize_auto",
+    "optimize_plan",
     "plan_query",
     "plan_to_sql",
+    "query_fingerprint",
     "query_to_sql",
 ]

@@ -12,13 +12,21 @@ the in-memory substrate:
 * **C6** — execute the plan, accessing only the bounded fraction ``D_Q``;
   queries that are not covered (and cannot be rewritten into a covered
   equivalent) fall back to conventional evaluation.
+
+On top of the paper's pipeline the engine maintains a **plan cache**: C2–C4
+(plus the peephole optimization of :mod:`repro.core.optimizer`) depend only on
+the query syntax and the access schema, so their output is cached under the
+query's canonical fingerprint (:mod:`repro.core.fingerprint`).  Repeated
+queries — the hot path of any serving workload — skip straight to C6 against
+an already-compiled plan.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Hashable, Mapping, Sequence
 
 from ..evaluator.baseline import evaluate_conventional
 from ..evaluator.executor import ExecutionResult, PlanExecutor
@@ -28,7 +36,9 @@ from ..storage.index import IndexSet
 from .access import AccessSchema
 from .coverage import CoverageResult, check_coverage
 from .errors import NotCoveredError
+from .fingerprint import query_fingerprint
 from .minimize import MinimizationResult, minimize_auto
+from .optimizer import optimize_plan
 from .plan import BoundedPlan
 from .plan2sql import SQLTranslation, plan_to_sql
 from .planner import generate_plan
@@ -42,7 +52,8 @@ class EngineResult:
 
     ``strategy`` is ``"bounded"`` when a bounded plan was executed (possibly
     for a rewritten equivalent of the input query), and ``"conventional"``
-    when the engine fell back to full evaluation.
+    when the engine fell back to full evaluation.  ``cached`` reports whether
+    the coverage/minimization/planning work was served from the plan cache.
     """
 
     rows: frozenset[tuple]
@@ -54,10 +65,89 @@ class EngineResult:
     coverage: CoverageResult | None = None
     minimization: MinimizationResult | None = None
     rewrite: str = "identity"
+    cached: bool = False
 
     def access_ratio(self, database_size: int) -> float:
         """``P(D_Q)`` for this execution."""
         return self.counter.ratio(database_size)
+
+
+@dataclass
+class PreparedQuery:
+    """Everything C2–C4 produce for one query under one engine configuration.
+
+    For covered (or rewritable) queries ``plan`` holds the canonical bounded
+    plan and ``executable`` the optimized plan actually run; for uncovered
+    queries both are ``None`` and only ``coverage`` is kept, so the fallback
+    decision itself is also cached.
+    """
+
+    coverage: CoverageResult
+    plan: BoundedPlan | None = None
+    executable: BoundedPlan | None = None
+    minimization: MinimizationResult | None = None
+    rewrite: str = "identity"
+    target: Query | None = None
+
+    @property
+    def covered(self) -> bool:
+        return self.plan is not None
+
+
+class PlanCache:
+    """An LRU cache from query fingerprints to :class:`PreparedQuery` entries.
+
+    A ``capacity`` of zero (or less) disables caching: every lookup misses and
+    nothing is stored.  The cache tracks hit/miss/eviction/invalidation
+    counts for :meth:`BoundedEngine.cache_stats`-style reporting.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, PreparedQuery] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> PreparedQuery | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, entry: PreparedQuery) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (called when the underlying data changes)."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    def stats(self) -> dict[str, int | float]:
+        requests = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / requests) if requests else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
 
 
 class BoundedEngine:
@@ -70,6 +160,8 @@ class BoundedEngine:
         *,
         build_indexes: bool = True,
         check_constraints: bool = True,
+        plan_cache_size: int = 128,
+        optimize: bool = True,
     ):
         self.database = database
         self.access_schema = access_schema
@@ -83,6 +175,8 @@ class BoundedEngine:
         else:
             self.indexes = IndexSet()
         self._executor = PlanExecutor(database, self.indexes)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.optimize = optimize
 
     # -- C2: coverage -----------------------------------------------------------
     def check(self, query: Query) -> CoverageResult:
@@ -118,6 +212,53 @@ class BoundedEngine:
         plan, _, _ = self.plan(query, minimize=minimize)
         return plan_to_sql(plan)
 
+    # -- query preparation (C2-C4, cached) --------------------------------------------
+    def _cache_key(self, query: Query, minimize: bool, allow_rewrite: bool) -> Hashable:
+        return (query_fingerprint(query), minimize, allow_rewrite)
+
+    def _prepare(self, query: Query, *, minimize: bool, allow_rewrite: bool) -> PreparedQuery:
+        """Run coverage, rewriting, minimization, planning and optimization."""
+        target = query
+        rewrite_name = "identity"
+        coverage = self.check(query)
+        if not coverage.is_covered and allow_rewrite:
+            verdict = find_covered_rewrite(query, self.access_schema)
+            if verdict.bounded and verdict.witness is not None:
+                target = verdict.witness
+                rewrite_name = verdict.rewrite
+                coverage = self.check(target)
+
+        if not coverage.is_covered:
+            return PreparedQuery(coverage=coverage)
+
+        minimization: MinimizationResult | None = None
+        effective_coverage = coverage
+        if minimize:
+            minimization = minimize_auto(target, self.access_schema)
+            effective_coverage = check_coverage(target, minimization.selected)
+        plan = generate_plan(effective_coverage)
+        executable = optimize_plan(plan) if self.optimize else plan
+        return PreparedQuery(
+            coverage=effective_coverage,
+            plan=plan,
+            executable=executable,
+            minimization=minimization,
+            rewrite=rewrite_name,
+            target=target,
+        )
+
+    def prepare(
+        self, query: Query, *, minimize: bool = True, allow_rewrite: bool = True
+    ) -> tuple[PreparedQuery, bool]:
+        """The cached C2-C4 pipeline; returns ``(prepared, was_cache_hit)``."""
+        key = self._cache_key(query, minimize, allow_rewrite)
+        entry = self.plan_cache.get(key)
+        if entry is not None:
+            return entry, True
+        entry = self._prepare(query, minimize=minimize, allow_rewrite=allow_rewrite)
+        self.plan_cache.put(key, entry)
+        return entry, False
+
     # -- C6: execution -------------------------------------------------------------------
     def execute(
         self,
@@ -131,40 +272,30 @@ class BoundedEngine:
 
         With ``allow_rewrite`` the engine also tries the A-equivalent rewrites
         of :mod:`repro.core.rewrite` (difference guarding, branch pruning)
-        before giving up on bounded evaluation.
+        before giving up on bounded evaluation.  Repeated queries hit the plan
+        cache and skip coverage checking, minimization and planning entirely.
         """
-        target = query
-        rewrite_name = "identity"
-        coverage = self.check(query)
-        if not coverage.is_covered and allow_rewrite:
-            verdict = find_covered_rewrite(query, self.access_schema)
-            if verdict.bounded and verdict.witness is not None:
-                target = verdict.witness
-                rewrite_name = verdict.rewrite
-                coverage = self.check(target)
+        prepared, cached = self.prepare(
+            query, minimize=minimize, allow_rewrite=allow_rewrite
+        )
 
-        if coverage.is_covered:
-            minimization: MinimizationResult | None = None
-            effective_coverage = coverage
-            if minimize:
-                minimization = minimize_auto(target, self.access_schema)
-                effective_coverage = check_coverage(target, minimization.selected)
-            plan = generate_plan(effective_coverage)
-            execution: ExecutionResult = self._executor.execute(plan)
+        if prepared.covered:
+            execution: ExecutionResult = self._executor.execute(prepared.executable)
             return EngineResult(
                 rows=execution.rows,
                 columns=execution.columns,
                 strategy="bounded",
                 elapsed=execution.elapsed,
                 counter=execution.counter,
-                plan=plan,
-                coverage=effective_coverage,
-                minimization=minimization,
-                rewrite=rewrite_name,
+                plan=prepared.plan,
+                coverage=prepared.coverage,
+                minimization=prepared.minimization,
+                rewrite=prepared.rewrite,
+                cached=cached,
             )
 
         if not fallback:
-            raise NotCoveredError(coverage.explain())
+            raise NotCoveredError(prepared.coverage.explain())
 
         baseline = evaluate_conventional(query, self.database, self.access_schema, self.indexes)
         return EngineResult(
@@ -173,16 +304,23 @@ class BoundedEngine:
             strategy="conventional",
             elapsed=baseline.elapsed,
             counter=baseline.counter,
-            coverage=coverage,
+            coverage=prepared.coverage,
+            cached=cached,
         )
 
     # -- C1: maintenance -------------------------------------------------------------------
+    # Updates clear the plan cache wholesale.  Today every cached artifact is
+    # data-independent, so this is purely conservative — it future-proofs
+    # against statistics-driven planning and keeps the invalidation contract
+    # simple.  Constraint-granular invalidation (via plan.constraints_used())
+    # is the planned refinement; see ROADMAP "Open items".
     def apply_insert(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Insert a tuple and incrementally maintain the indexes (Proposition 12)."""
         instance = self.database.relation(relation)
         prepared = instance._prepare(row)
         if instance.insert(prepared):
             self.indexes.apply_insert(relation, prepared)
+            self.plan_cache.invalidate()
 
     def apply_delete(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Delete a tuple and incrementally maintain the indexes (Proposition 12)."""
@@ -190,6 +328,7 @@ class BoundedEngine:
         prepared = instance._prepare(row)
         if instance.delete(prepared):
             self.indexes.apply_delete(relation, prepared, instance)
+            self.plan_cache.invalidate()
 
     # -- reporting ----------------------------------------------------------------------------
     def index_footprint(self) -> dict[str, object]:
@@ -203,3 +342,7 @@ class BoundedEngine:
             "build_seconds": self.index_build_seconds,
             "constraints": len(self.access_schema),
         }
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Plan-cache hit/miss statistics, in the style of :meth:`index_footprint`."""
+        return self.plan_cache.stats()

@@ -1,0 +1,335 @@
+"""Peephole optimization of bounded plans.
+
+``QPlan`` emits deliberately naive canonical plans: every join is a Cartesian
+product followed by a selection, unit fetching plans are materialized even
+when nothing consumes them, and the same fetch/project combination can appear
+several times.  :func:`optimize_plan` rewrites such a plan into a cheaper but
+semantically identical one:
+
+* **hash-join fusion** — ``σ(T × T')`` whose condition equates columns across
+  the two sides becomes a :class:`~repro.core.plan.HashJoinOp`, turning the
+  ``O(|T|·|T'|)`` product into a hash lookup;
+* **selection fusion** — stacked selections collapse into one predicate list;
+* **projection pushdown** — stacked projections compose into a single
+  projection, projections over renames are rewritten to project directly from
+  the pre-rename step, and identity projections/renames disappear;
+* **common-subplan deduplication** — structurally identical steps are
+  hash-consed so shared work executes once;
+* **dead-step elimination** — steps unreachable from the output are dropped.
+
+Every rewrite is purely structural; the optimized plan stays a valid
+:class:`~repro.core.plan.BoundedPlan` (``validate()`` is re-run on the
+result), keeps the same access schema and occurrence mapping, and computes
+row-for-row the same output as the input plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .plan import (
+    BoundedPlan,
+    ColumnPredicate,
+    ColumnRef,
+    ConstOp,
+    DifferenceOp,
+    FetchOp,
+    HashJoinOp,
+    IntersectOp,
+    PlanOp,
+    PlanStep,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    SelectOp,
+    UnionOp,
+    UnitOp,
+)
+
+
+def _op_key(op: PlanOp):
+    """A hashable structural key for hash-consing, or ``None`` if unavailable."""
+    if isinstance(op, ConstOp):
+        return ("const", op.value, op.column)
+    if isinstance(op, UnitOp):
+        return ("unit",)
+    if isinstance(op, FetchOp):
+        return ("fetch", op.constraint, op.key_columns, op.inputs)
+    if isinstance(op, ProjectOp):
+        return ("proj", op.columns, op.output_names, op.inputs)
+    if isinstance(op, SelectOp):
+        return ("sel", op.predicates, op.inputs)
+    if isinstance(op, RenameOp):
+        return ("ren", tuple(sorted(op.mapping.items())), op.inputs)
+    if isinstance(op, HashJoinOp):
+        return ("hjoin", op.pairs, op.residual, op.inputs)
+    if isinstance(op, ProductOp):
+        return ("prod", op.inputs)
+    if isinstance(op, UnionOp):
+        return ("union", op.inputs)
+    if isinstance(op, DifferenceOp):
+        return ("diff", op.inputs)
+    if isinstance(op, IntersectOp):
+        return ("isect", op.inputs)
+    return None  # pragma: no cover - future operators
+
+
+class _PeepholeRewriter:
+    """Forward emission pass with hash-consing, followed by dead-step sweep."""
+
+    def __init__(self, plan: BoundedPlan):
+        self.plan = plan
+        self.ops: list[PlanOp] = []
+        self.columns: list[tuple[str, ...]] = []
+        self.comments: list[str] = []
+        self._cse: dict = {}
+
+    # -- emission -------------------------------------------------------------
+    def _emit(self, op: PlanOp, columns: tuple[str, ...], comment: str) -> int:
+        key = _op_key(op)
+        if key is not None:
+            try:
+                cached = self._cse.get(key)
+            except TypeError:  # unhashable constant somewhere in the op
+                key = None
+            else:
+                if cached is not None:
+                    return cached
+        step_id = len(self.ops)
+        self.ops.append(op)
+        self.columns.append(tuple(columns))
+        self.comments.append(comment)
+        if key is not None:
+            self._cse[key] = step_id
+        return step_id
+
+    def _emit_select(
+        self,
+        predicates: tuple[ColumnPredicate, ...],
+        source: int,
+        columns: tuple[str, ...],
+        comment: str,
+    ) -> int:
+        if not predicates:
+            return source
+        inner = self.ops[source]
+        if isinstance(inner, SelectOp):
+            return self._emit_select(
+                inner.predicates + predicates, inner.inputs[0], columns, comment
+            )
+        if isinstance(inner, ProductOp):
+            fused = self._fuse_product(inner, predicates, columns, comment)
+            if fused is not None:
+                return fused
+        if isinstance(inner, HashJoinOp):
+            merged = self._merge_into_join(inner, predicates, columns, comment)
+            if merged is not None:
+                return merged
+        return self._emit(SelectOp(predicates=predicates, inputs=(source,)), columns, comment)
+
+    def _split_join_condition(
+        self,
+        predicates: tuple[ColumnPredicate, ...],
+        left_columns: tuple[str, ...],
+        right_columns: tuple[str, ...],
+    ) -> tuple[list[tuple[str, str]], list[ColumnPredicate]] | None:
+        """Partition predicates into cross-side equality pairs and a residual.
+
+        Returns ``None`` when a column name appears on both sides, in which
+        case name-based classification would be ambiguous and fusion is
+        skipped.
+        """
+        left_set, right_set = set(left_columns), set(right_columns)
+        if left_set & right_set:
+            return None
+        pairs: list[tuple[str, str]] = []
+        residual: list[ColumnPredicate] = []
+        for predicate in predicates:
+            if predicate.op == "=" and isinstance(predicate.right, ColumnRef):
+                left, right = predicate.left, predicate.right.column
+                if left in left_set and right in right_set:
+                    pairs.append((left, right))
+                    continue
+                if left in right_set and right in left_set:
+                    pairs.append((right, left))
+                    continue
+            residual.append(predicate)
+        return pairs, residual
+
+    def _fuse_product(
+        self,
+        product: ProductOp,
+        predicates: tuple[ColumnPredicate, ...],
+        columns: tuple[str, ...],
+        comment: str,
+    ) -> int | None:
+        left, right = product.inputs
+        split = self._split_join_condition(
+            predicates, self.columns[left], self.columns[right]
+        )
+        if split is None:
+            return None
+        pairs, residual = split
+        if not pairs:
+            return None
+        op = HashJoinOp(
+            pairs=tuple(pairs), residual=tuple(residual), inputs=(left, right)
+        )
+        return self._emit(op, columns, comment or "fused hash join")
+
+    def _merge_into_join(
+        self,
+        join: HashJoinOp,
+        predicates: tuple[ColumnPredicate, ...],
+        columns: tuple[str, ...],
+        comment: str,
+    ) -> int | None:
+        left, right = join.inputs
+        split = self._split_join_condition(
+            predicates, self.columns[left], self.columns[right]
+        )
+        if split is None:  # pragma: no cover - joins are only fused when unambiguous
+            return None
+        pairs, residual = split
+        op = HashJoinOp(
+            pairs=join.pairs + tuple(pairs),
+            residual=join.residual + tuple(residual),
+            inputs=join.inputs,
+        )
+        return self._emit(op, columns, comment or "fused hash join")
+
+    def _emit_project(
+        self,
+        columns: tuple[str, ...],
+        output_names: tuple[str, ...],
+        source: int,
+        comment: str,
+    ) -> int:
+        inner = self.ops[source]
+        source_columns = self.columns[source]
+        if isinstance(inner, ProjectOp):
+            inner_names = (
+                inner.output_names if inner.output_names is not None else inner.columns
+            )
+            origin: dict[str, str] = {}
+            for name, col in zip(inner_names, inner.columns):
+                origin.setdefault(name, col)
+            if all(c in origin for c in columns):
+                return self._emit_project(
+                    tuple(origin[c] for c in columns),
+                    output_names,
+                    inner.inputs[0],
+                    comment,
+                )
+        if isinstance(inner, RenameOp):
+            # Push the projection below the rename only when every post-rename
+            # column name is unique: the executor resolves names positionally
+            # (first match wins), so a rename target colliding with a
+            # pass-through column (or duplicated source names) would make the
+            # name-based inverse pick a different column than execution would.
+            pre_rename = self.columns[inner.inputs[0]]
+            post_rename = tuple(inner.mapping.get(c, c) for c in pre_rename)
+            if len(set(post_rename)) == len(post_rename) and all(
+                c in post_rename for c in columns
+            ):
+                inverse = {new: old for new, old in zip(post_rename, pre_rename)}
+                return self._emit_project(
+                    tuple(inverse[c] for c in columns),
+                    output_names,
+                    inner.inputs[0],
+                    comment,
+                )
+        if (
+            columns == source_columns
+            and output_names == source_columns
+            and len(set(source_columns)) == len(source_columns)
+        ):
+            return source  # identity projection (unambiguous names only)
+        names = None if output_names == columns else output_names
+        return self._emit(
+            ProjectOp(columns=columns, inputs=(source,), output_names=names),
+            output_names,
+            comment,
+        )
+
+    # -- the pass -------------------------------------------------------------
+    def rewrite(self) -> tuple[dict[int, int], int]:
+        remap: dict[int, int] = {}
+        for step in self.plan.steps:
+            op = step.op
+            inputs = tuple(remap[i] for i in op.inputs)
+            if isinstance(op, SelectOp):
+                remap[step.id] = self._emit_select(
+                    op.predicates, inputs[0], step.columns, step.comment
+                )
+            elif isinstance(op, ProjectOp):
+                names = op.output_names if op.output_names is not None else op.columns
+                remap[step.id] = self._emit_project(
+                    op.columns, tuple(names), inputs[0], step.comment
+                )
+            elif isinstance(op, RenameOp):
+                effective = {o: n for o, n in op.mapping.items() if o != n}
+                if not effective:
+                    remap[step.id] = inputs[0]
+                else:
+                    remap[step.id] = self._emit(
+                        RenameOp(mapping=dict(op.mapping), inputs=inputs),
+                        step.columns,
+                        step.comment,
+                    )
+            else:
+                remap[step.id] = self._emit(
+                    replace(op, inputs=inputs), step.columns, step.comment
+                )
+        return remap, remap[self.plan.output]
+
+    def sweep(self, output: int) -> tuple[list[PlanStep], dict[int, int], int]:
+        """Drop steps unreachable from ``output`` and renumber the survivors."""
+        reachable: set[int] = set()
+        stack = [output]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            stack.extend(self.ops[node].inputs)
+        final: dict[int, int] = {}
+        steps: list[PlanStep] = []
+        for old_id in sorted(reachable):
+            new_id = len(steps)
+            final[old_id] = new_id
+            op = self.ops[old_id]
+            steps.append(
+                PlanStep(
+                    id=new_id,
+                    op=replace(op, inputs=tuple(final[i] for i in op.inputs)),
+                    columns=self.columns[old_id],
+                    comment=self.comments[old_id],
+                )
+            )
+        return steps, final, final[output]
+
+
+def optimize_plan(plan: BoundedPlan) -> BoundedPlan:
+    """Return an optimized, semantically equivalent copy of ``plan``."""
+    rewriter = _PeepholeRewriter(plan)
+    remap, output = rewriter.rewrite()
+    steps, final, new_output = rewriter.sweep(output)
+
+    def _surviving(mapping) -> dict[str, int]:
+        return {
+            key: final[remap[step_id]]
+            for key, step_id in mapping.items()
+            if remap[step_id] in final
+        }
+
+    optimized = BoundedPlan(
+        steps=steps,
+        output=new_output,
+        access_schema=plan.access_schema,
+        fetch_plans=_surviving(plan.fetch_plans),
+        surrogates=_surviving(plan.surrogates),
+        occurrences=dict(plan.occurrences),
+    )
+    optimized.validate()
+    return optimized

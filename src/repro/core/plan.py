@@ -164,6 +164,29 @@ class ProductOp(PlanOp):
 
 
 @dataclass
+class HashJoinOp(PlanOp):
+    """A fused ``σ(T × T')`` evaluated as a hash join (columns must be disjoint).
+
+    ``pairs`` lists ``(left_column, right_column)`` equality conditions that
+    drive the hash lookup; ``residual`` holds the remaining predicates,
+    evaluated over the concatenated columns of both inputs.  The operator is
+    never produced by the planner — only by the peephole optimizer
+    (:mod:`repro.core.optimizer`) — and is semantically identical to the
+    select-over-product it replaces.
+    """
+
+    pairs: tuple[tuple[str, str], ...]
+    residual: tuple[ColumnPredicate, ...]
+    inputs: tuple[int, ...]
+
+    def describe(self) -> str:
+        condition = " AND ".join(
+            [f"{l} = {r}" for l, r in self.pairs] + [str(p) for p in self.residual]
+        )
+        return f"T{self.inputs[0]} ⋈[{condition}] T{self.inputs[1]}"
+
+
+@dataclass
 class UnionOp(PlanOp):
     """Set union (positional) of two steps with equal arity."""
 
@@ -344,7 +367,7 @@ class BoundedPlan:
                     op.mapping.get(column, column): bound for column, bound in source.items()
                 }
                 rows[step.id] = rows[op.inputs[0]]
-            elif isinstance(op, ProductOp):
+            elif isinstance(op, (ProductOp, HashJoinOp)):
                 left, right = per_step[op.inputs[0]], per_step[op.inputs[1]]
                 per_step[step.id] = {**left, **right}
                 rows[step.id] = rows[op.inputs[0]] * rows[op.inputs[1]]

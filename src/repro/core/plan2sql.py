@@ -30,6 +30,7 @@ from .plan import (
     ConstOp,
     DifferenceOp,
     FetchOp,
+    HashJoinOp,
     IntersectOp,
     ProductOp,
     ProjectOp,
@@ -171,6 +172,21 @@ def _step_sql(
         ) or "1"
         return (
             f"SELECT DISTINCT {select_list} FROM t{op.inputs[0]} a CROSS JOIN t{op.inputs[1]} b"
+        )
+    if isinstance(op, HashJoinOp):
+        left_cols = plan.step(op.inputs[0]).columns
+        right_cols = plan.step(op.inputs[1]).columns
+        select_list = ", ".join(
+            [f"a.{quote_identifier(c)} AS {quote_identifier(c)}" for c in left_cols]
+            + [f"b.{quote_identifier(c)} AS {quote_identifier(c)}" for c in right_cols]
+        ) or "1"
+        conditions = [
+            f"a.{quote_identifier(l)} = b.{quote_identifier(r)}" for l, r in op.pairs
+        ] + [_predicate_sql(p) for p in op.residual]
+        on_clause = " AND ".join(conditions) or "1=1"
+        return (
+            f"SELECT DISTINCT {select_list} FROM t{op.inputs[0]} a "
+            f"JOIN t{op.inputs[1]} b ON {on_clause}"
         )
     if isinstance(op, UnionOp):
         return f"SELECT * FROM t{op.inputs[0]} UNION SELECT * FROM t{op.inputs[1]}"

@@ -67,6 +67,9 @@ def _predicate_matcher(
 ) -> Callable[[Row], bool]:
     """Compile a query predicate into a row filter over named columns."""
     compiled: list[tuple[int, str, object, int | None]] = []
+    positions: dict[str, int] = {}
+    for index, column in enumerate(columns):
+        positions.setdefault(column, index)
     for atom in condition.atoms():
         if not isinstance(atom, Comparison):  # pragma: no cover - defensive
             raise QueryError(f"unsupported predicate {atom}")
@@ -76,11 +79,16 @@ def _predicate_matcher(
             op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
         if not isinstance(left, Attribute):
             raise QueryError(f"predicate {atom} compares two constants")
-        left_pos = list(columns).index(str(left))
-        if isinstance(right, Attribute):
-            compiled.append((left_pos, op, None, list(columns).index(str(right))))
-        else:
-            compiled.append((left_pos, op, right.value, None))
+        try:
+            left_pos = positions[str(left)]
+            if isinstance(right, Attribute):
+                compiled.append((left_pos, op, None, positions[str(right)]))
+            else:
+                compiled.append((left_pos, op, right.value, None))
+        except KeyError as missing:
+            raise QueryError(
+                f"predicate {atom} references missing column {missing.args[0]!r}"
+            ) from None
 
     def matches(row: Row) -> bool:
         for left_pos, op, constant, right_pos in compiled:

@@ -59,7 +59,11 @@ class ConventionalEvaluator(AlgebraEvaluator):
         super().__init__(database, counter)
         self.access_schema = access_schema
         self.indexes = indexes
-        self._analyses: dict[int, SPCAnalysis] = {}
+        #: per-evaluate() SPC analyses, keyed by relation occurrence name.
+        #: Scoped to the active evaluate() call rather than cached by
+        #: ``id(context)``: id() values can be reused once a query tree is
+        #: garbage-collected, which would silently serve a stale analysis.
+        self._current_analyses: dict[str, SPCAnalysis] | None = None
 
     # -- relation access -----------------------------------------------------------
     def scan_relation(self, node: Relation, context: Query) -> ResultSet:
@@ -100,20 +104,32 @@ class ConventionalEvaluator(AlgebraEvaluator):
                 return True
         return False
 
+    def evaluate(self, query: Query) -> ResultSet:
+        previous = self._current_analyses
+        self._current_analyses = self._build_analyses(query)
+        try:
+            return super().evaluate(query)
+        finally:
+            self._current_analyses = previous
+
     def _analysis_for(self, node: Relation, context: Query) -> SPCAnalysis | None:
         """The SPC analysis of the max SPC sub-query containing this occurrence."""
-        if id(context) not in self._analyses:
-            by_relation: dict[str, SPCAnalysis] = {}
-            for subquery in max_spc_subqueries(context):
-                try:
-                    analysis = SPCAnalysis(subquery)
-                except QueryError:  # pragma: no cover - defensive
-                    continue
-                for rel in analysis.relations:
-                    by_relation[rel.name] = analysis
-            self._analyses[id(context)] = by_relation  # type: ignore[assignment]
-        by_relation = self._analyses[id(context)]  # type: ignore[assignment]
-        return by_relation.get(node.name)
+        analyses = self._current_analyses
+        if analyses is None:  # _evaluate called directly, outside evaluate()
+            analyses = self._build_analyses(context)
+        return analyses.get(node.name)
+
+    @staticmethod
+    def _build_analyses(context: Query) -> dict[str, SPCAnalysis]:
+        by_relation: dict[str, SPCAnalysis] = {}
+        for subquery in max_spc_subqueries(context):
+            try:
+                analysis = SPCAnalysis(subquery)
+            except QueryError:  # pragma: no cover - defensive
+                continue
+            for rel in analysis.relations:
+                by_relation[rel.name] = analysis
+        return by_relation
 
 
 def evaluate_conventional(

@@ -6,13 +6,23 @@ whose constraint indexes have been materialized as an
 ``fetch`` steps (index lookups); every access is recorded on an
 :class:`~repro.storage.counters.AccessCounter`, so the measured ``|D_Q|`` of
 the experiments is exact.
+
+Plans are executed in two phases.  ``compile`` lowers every step to a small
+kernel closure with all name-to-position resolution, predicate compilation
+and index lookup done once up front; ``execute`` then pipelines the kernels
+over mutable-set intermediates, freezing only the output step into the
+returned :class:`~repro.evaluator.algebra.ResultSet`.  Compiled plans are
+memoized per plan object (the hot path of :class:`~repro.core.engine.
+BoundedEngine` executes the same cached plan over and over), so a warm
+execution does no per-step interpretation work beyond running the kernels.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..core.access import AccessConstraint
 from ..core.errors import PlanError
@@ -23,6 +33,7 @@ from ..core.plan import (
     ConstOp,
     DifferenceOp,
     FetchOp,
+    HashJoinOp,
     IntersectOp,
     PlanStep,
     ProductOp,
@@ -38,6 +49,12 @@ from ..storage.index import ConstraintIndex, IndexSet
 from .algebra import ResultSet, _compare
 
 Row = tuple
+
+#: a compiled plan step: (environment of prior step results, counter) -> rows
+Kernel = Callable[[list, AccessCounter], "set[Row] | frozenset[Row]"]
+
+#: how many compiled plans each executor keeps around
+_COMPILED_CACHE_SIZE = 64
 
 
 @dataclass
@@ -62,108 +79,244 @@ class ExecutionResult:
         return self.counter.ratio(database_size)
 
 
+@dataclass
+class CompiledPlan:
+    """A bounded plan lowered to per-step kernels, ready for repeated runs."""
+
+    plan: BoundedPlan
+    kernels: tuple[Kernel, ...]
+    columns: tuple[tuple[str, ...], ...]
+    output: int
+
+
+def _column_positions(columns: Sequence[str]) -> dict[str, int]:
+    """Name → first position, built once per compilation."""
+    positions: dict[str, int] = {}
+    for index, column in enumerate(columns):
+        positions.setdefault(column, index)
+    return positions
+
+
+def _position_of(positions: Mapping[str, int], column: str, step: PlanStep) -> int:
+    try:
+        return positions[column]
+    except KeyError:
+        raise PlanError(
+            f"step T{step.id} references missing column {column!r}; "
+            f"available: {sorted(positions)}"
+        ) from None
+
+
 class PlanExecutor:
     """Executes bounded plans against a database through its constraint indexes."""
 
     def __init__(self, database: Database, indexes: IndexSet):
         self.database = database
         self.indexes = indexes
+        self._compiled: OrderedDict[int, CompiledPlan] = OrderedDict()
 
     def execute(
         self, plan: BoundedPlan, counter: AccessCounter | None = None
     ) -> ExecutionResult:
         """Run ``plan`` and return its result with exact access accounting."""
         counter = counter if counter is not None else AccessCounter()
+        compiled = self.compile(plan)
         started = time.perf_counter()
-        results: dict[int, ResultSet] = {}
+        env: list = [None] * len(compiled.kernels)
         cardinalities: dict[int, int] = {}
-        for step in plan.steps:
-            results[step.id] = self._execute_step(plan, step, results, counter)
-            cardinalities[step.id] = len(results[step.id])
+        for step_id, kernel in enumerate(compiled.kernels):
+            rows = kernel(env, counter)
+            env[step_id] = rows
+            cardinalities[step_id] = len(rows)
+        result = ResultSet(
+            columns=compiled.columns[compiled.output],
+            rows=frozenset(env[compiled.output]),
+        )
         elapsed = time.perf_counter() - started
         return ExecutionResult(
-            result=results[plan.output],
+            result=result,
             counter=counter,
             elapsed=elapsed,
             step_cardinalities=cardinalities,
         )
 
     # ------------------------------------------------------------------
-    def _execute_step(
-        self,
-        plan: BoundedPlan,
-        step: PlanStep,
-        results: Mapping[int, ResultSet],
-        counter: AccessCounter,
-    ) -> ResultSet:
+    def compile(self, plan: BoundedPlan) -> CompiledPlan:
+        """Lower ``plan`` to kernels, memoized per plan object."""
+        cached = self._compiled.get(id(plan))
+        if cached is not None and cached.plan is plan:
+            self._compiled.move_to_end(id(plan))
+            return cached
+        compiled = self._compile(plan)
+        self._compiled[id(plan)] = compiled
+        if len(self._compiled) > _COMPILED_CACHE_SIZE:
+            self._compiled.popitem(last=False)
+        return compiled
+
+    def _compile(self, plan: BoundedPlan) -> CompiledPlan:
+        kernels: list[Kernel] = []
+        columns: list[tuple[str, ...]] = []
+        for position, step in enumerate(plan.steps):
+            if step.id != position:
+                raise PlanError(
+                    f"plan steps are not densely numbered: T{step.id} at position {position}"
+                )
+            kernel, step_columns = self._compile_step(plan, step, columns)
+            kernels.append(kernel)
+            columns.append(step_columns)
+        if plan.output < 0 or plan.output >= len(kernels):
+            raise PlanError(f"output step T{plan.output} does not exist")
+        return CompiledPlan(
+            plan=plan, kernels=tuple(kernels), columns=tuple(columns), output=plan.output
+        )
+
+    def _compile_step(
+        self, plan: BoundedPlan, step: PlanStep, columns: list[tuple[str, ...]]
+    ) -> tuple[Kernel, tuple[str, ...]]:
         op = step.op
         if isinstance(op, ConstOp):
-            return ResultSet(columns=(op.column,), rows=frozenset({(op.value,)}))
+            rows = frozenset({(op.value,)})
+            return (lambda env, counter, _rows=rows: _rows), (op.column,)
         if isinstance(op, UnitOp):
-            return ResultSet(columns=(), rows=frozenset({()}))
+            rows = frozenset({()})
+            return (lambda env, counter, _rows=rows: _rows), ()
         if isinstance(op, FetchOp):
-            return self._execute_fetch(plan, step, results[op.inputs[0]], counter)
+            return self._compile_fetch(plan, step, columns[op.inputs[0]])
         if isinstance(op, ProjectOp):
-            source = results[op.inputs[0]]
-            positions = [source.column_position(c) for c in op.columns]
-            names = op.output_names if op.output_names is not None else op.columns
-            rows = frozenset(tuple(row[p] for p in positions) for row in source.rows)
-            return ResultSet(columns=tuple(names), rows=rows)
+            return self._compile_project(step, columns[op.inputs[0]])
         if isinstance(op, SelectOp):
-            source = results[op.inputs[0]]
-            matcher = _compile_predicates(op.predicates, source.columns)
-            return ResultSet(source.columns, frozenset(r for r in source.rows if matcher(r)))
+            source = op.inputs[0]
+            matcher = _compile_predicates(op.predicates, columns[source])
+
+            def select_kernel(env, counter, _src=source, _match=matcher):
+                return {row for row in env[_src] if _match(row)}
+
+            return select_kernel, columns[source]
         if isinstance(op, RenameOp):
-            source = results[op.inputs[0]]
-            columns = tuple(op.mapping.get(c, c) for c in source.columns)
-            return ResultSet(columns, source.rows)
+            source = op.inputs[0]
+            renamed = tuple(op.mapping.get(c, c) for c in columns[source])
+            return (lambda env, counter, _src=source: env[_src]), renamed
         if isinstance(op, ProductOp):
-            left, right = results[op.inputs[0]], results[op.inputs[1]]
-            columns = left.columns + right.columns
-            rows = frozenset(l + r for l in left.rows for r in right.rows)
-            return ResultSet(columns, rows)
-        if isinstance(op, UnionOp):
-            left, right = results[op.inputs[0]], results[op.inputs[1]]
-            self._check_arity(left, right, step)
-            return ResultSet(left.columns, left.rows | right.rows)
-        if isinstance(op, DifferenceOp):
-            left, right = results[op.inputs[0]], results[op.inputs[1]]
-            self._check_arity(left, right, step)
-            return ResultSet(left.columns, left.rows - right.rows)
-        if isinstance(op, IntersectOp):
-            left, right = results[op.inputs[0]], results[op.inputs[1]]
-            self._check_arity(left, right, step)
-            return ResultSet(left.columns, left.rows & right.rows)
+            left, right = op.inputs
+
+            def product_kernel(env, counter, _l=left, _r=right):
+                right_rows = env[_r]
+                return {lr + rr for lr in env[_l] for rr in right_rows}
+
+            return product_kernel, columns[left] + columns[right]
+        if isinstance(op, HashJoinOp):
+            return self._compile_hash_join(step, columns)
+        if isinstance(op, (UnionOp, DifferenceOp, IntersectOp)):
+            left, right = op.inputs
+            if len(columns[left]) != len(columns[right]):
+                raise PlanError(
+                    f"step T{step.id}: operands have arities {len(columns[left])} "
+                    f"and {len(columns[right])}"
+                )
+            if isinstance(op, UnionOp):
+                kernel: Kernel = lambda env, counter, _l=left, _r=right: env[_l] | env[_r]
+            elif isinstance(op, DifferenceOp):
+                kernel = lambda env, counter, _l=left, _r=right: env[_l] - env[_r]
+            else:
+                kernel = lambda env, counter, _l=left, _r=right: env[_l] & env[_r]
+            return kernel, columns[left]
         raise PlanError(f"unknown plan operator {type(op).__name__} in step T{step.id}")
 
-    @staticmethod
-    def _check_arity(left: ResultSet, right: ResultSet, step: PlanStep) -> None:
-        if len(left.columns) != len(right.columns):
-            raise PlanError(
-                f"step T{step.id}: operands have arities {len(left.columns)} and "
-                f"{len(right.columns)}"
-            )
-
-    def _execute_fetch(
-        self,
-        plan: BoundedPlan,
-        step: PlanStep,
-        source: ResultSet,
-        counter: AccessCounter,
-    ) -> ResultSet:
+    def _compile_fetch(
+        self, plan: BoundedPlan, step: PlanStep, source_columns: tuple[str, ...]
+    ) -> tuple[Kernel, tuple[str, ...]]:
         op: FetchOp = step.op  # type: ignore[assignment]
         index = self._resolve_index(plan, op.constraint)
-        key_positions = [source.column_position(c) for c in op.key_columns]
-        fetched: set[Row] = set()
-        seen_keys: set[Row] = set()
-        for row in source.rows:
-            key = tuple(row[p] for p in key_positions)
-            if key in seen_keys:
-                continue
-            seen_keys.add(key)
-            fetched.update(index.lookup(key, counter))
+        positions = _column_positions(source_columns)
+        key_positions = tuple(_position_of(positions, c, step) for c in op.key_columns)
+        source = op.inputs[0]
+
+        def fetch_kernel(
+            env, counter, _src=source, _kp=key_positions, _lookup=index.lookup
+        ):
+            fetched: set[Row] = set()
+            seen: set[Row] = set()
+            for row in env[_src]:
+                key = tuple(row[p] for p in _kp)
+                if key not in seen:
+                    seen.add(key)
+                    fetched.update(_lookup(key, counter))
+            return fetched
+
         # Index tuples are aligned with sorted(lhs | rhs); so are the step's columns.
-        return ResultSet(columns=step.columns, rows=frozenset(fetched))
+        return fetch_kernel, step.columns
+
+    def _compile_project(
+        self, step: PlanStep, source_columns: tuple[str, ...]
+    ) -> tuple[Kernel, tuple[str, ...]]:
+        op: ProjectOp = step.op  # type: ignore[assignment]
+        positions_by_name = _column_positions(source_columns)
+        positions = tuple(
+            _position_of(positions_by_name, c, step) for c in op.columns
+        )
+        names = op.output_names if op.output_names is not None else op.columns
+        source = op.inputs[0]
+        if positions == tuple(range(len(source_columns))):
+            # Width-preserving projection: rows pass through untouched.
+            return (lambda env, counter, _src=source: env[_src]), tuple(names)
+        if len(positions) == 1:
+            single = positions[0]
+
+            def project_one(env, counter, _src=source, _p=single):
+                return {(row[_p],) for row in env[_src]}
+
+            return project_one, tuple(names)
+
+        def project_kernel(env, counter, _src=source, _ps=positions):
+            return {tuple(row[p] for p in _ps) for row in env[_src]}
+
+        return project_kernel, tuple(names)
+
+    def _compile_hash_join(
+        self, step: PlanStep, columns: list[tuple[str, ...]]
+    ) -> tuple[Kernel, tuple[str, ...]]:
+        op: HashJoinOp = step.op  # type: ignore[assignment]
+        left, right = op.inputs
+        left_columns, right_columns = columns[left], columns[right]
+        left_positions = _column_positions(left_columns)
+        right_positions = _column_positions(right_columns)
+        build_positions = tuple(
+            _position_of(right_positions, r, step) for _, r in op.pairs
+        )
+        probe_positions = tuple(
+            _position_of(left_positions, l, step) for l, _ in op.pairs
+        )
+        combined = left_columns + right_columns
+        matcher = _compile_predicates(op.residual, combined) if op.residual else None
+
+        def join_kernel(
+            env,
+            counter,
+            _l=left,
+            _r=right,
+            _probe=probe_positions,
+            _build=build_positions,
+            _match=matcher,
+        ):
+            buckets: dict[Row, list[Row]] = {}
+            for row in env[_r]:
+                buckets.setdefault(tuple(row[p] for p in _build), []).append(row)
+            joined: set[Row] = set()
+            for row in env[_l]:
+                matches = buckets.get(tuple(row[p] for p in _probe))
+                if not matches:
+                    continue
+                if _match is None:
+                    for other in matches:
+                        joined.add(row + other)
+                else:
+                    for other in matches:
+                        combined_row = row + other
+                        if _match(combined_row):
+                            joined.add(combined_row)
+            return joined
+
+        return join_kernel, combined
 
     def _resolve_index(self, plan: BoundedPlan, constraint: AccessConstraint) -> ConstraintIndex:
         """Map an actualized constraint back to the physical index of its base relation."""
@@ -183,14 +336,19 @@ class PlanExecutor:
 def _compile_predicates(
     predicates: Sequence[ColumnPredicate], columns: Sequence[str]
 ):
+    positions = _column_positions(columns)
     compiled: list[tuple[int, str, object, int | None]] = []
-    columns_list = list(columns)
     for predicate in predicates:
-        left = columns_list.index(predicate.left)
-        if isinstance(predicate.right, ColumnRef):
-            compiled.append((left, predicate.op, None, columns_list.index(predicate.right.column)))
-        else:
-            compiled.append((left, predicate.op, predicate.right, None))
+        try:
+            left = positions[predicate.left]
+            if isinstance(predicate.right, ColumnRef):
+                compiled.append((left, predicate.op, None, positions[predicate.right.column]))
+            else:
+                compiled.append((left, predicate.op, predicate.right, None))
+        except KeyError as missing:
+            raise PlanError(
+                f"predicate {predicate} references missing column {missing.args[0]!r}"
+            ) from None
 
     def matches(row: Row) -> bool:
         for left_pos, op, constant, right_pos in compiled:

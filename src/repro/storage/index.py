@@ -33,7 +33,10 @@ class ConstraintIndex:
         self.columns = tuple(sorted(constraint.lhs | constraint.rhs))
         self._lhs_positions = relation.schema.positions(self.lhs)
         self._column_positions = relation.schema.positions(self.columns)
-        self._entries: dict[Row, set[Row]] = {}
+        #: key -> {projected XY-value -> number of base tuples projecting to it}.
+        #: The reference counts make deletions O(1): a value is dropped exactly
+        #: when its last witness tuple goes away, with no relation scan.
+        self._entries: dict[Row, dict[Row, int]] = {}
         for row in relation:
             self._add_row(row)
 
@@ -45,35 +48,39 @@ class ConstraintIndex:
         return tuple(row[p] for p in self._column_positions)
 
     def _add_row(self, row: Row) -> None:
-        self._entries.setdefault(self._key(row), set()).add(self._value(row))
+        group = self._entries.setdefault(self._key(row), {})
+        value = self._value(row)
+        group[value] = group.get(value, 0) + 1
 
     def add_row(self, row: Row) -> None:
-        """Reflect an inserted base-relation tuple in the index (O(1))."""
+        """Reflect an inserted base-relation tuple in the index (O(1)).
+
+        Callers must only report *new* base tuples (set semantics): reporting
+        the same tuple twice would double-count its witness.
+        """
         self._add_row(row)
 
     def remove_row(self, row: Row, relation: RelationInstance | None = None) -> None:
-        """Reflect a deleted base-relation tuple in the index.
+        """Reflect a deleted base-relation tuple in the index (O(1)).
 
-        The projected ``XY``-value is only dropped when no remaining tuple of
-        the relation still projects to it; pass the relation instance to make
-        that check (costs a scan of the group, bounded by ``N`` under the
-        constraint plus duplicates).
+        The projected ``XY``-value is dropped only when its reference count
+        hits zero, i.e. no remaining tuple of the relation still projects to
+        it.  ``relation`` is accepted for backward compatibility but no longer
+        needed: the counts replace the witness scan.
         """
         key = self._key(row)
-        values = self._entries.get(key)
-        if not values:
+        group = self._entries.get(key)
+        if not group:
             return
         value = self._value(row)
-        if relation is not None:
-            still_present = any(
-                self._key(other) == key and self._value(other) == value
-                for other in relation
-                if other != row
-            )
-            if still_present:
-                return
-        values.discard(value)
-        if not values:
+        count = group.get(value)
+        if count is None:
+            return
+        if count > 1:
+            group[value] = count - 1
+            return
+        del group[value]
+        if not group:
             del self._entries[key]
 
     # -- lookups --------------------------------------------------------------------
@@ -84,8 +91,8 @@ class ConstraintIndex:
         tuples are accessed when the data satisfies the constraint; the access
         is recorded on ``counter`` if provided.
         """
-        values = self._entries.get(tuple(key), ())
-        result = tuple(values)
+        values = self._entries.get(tuple(key))
+        result = tuple(values) if values else ()
         if counter is not None:
             counter.record_fetch(self.relation_name, len(result))
         return result
@@ -116,10 +123,9 @@ class ConstraintIndex:
 
     def check(self) -> None:
         """Raise :class:`ConstraintViolation` if some group exceeds the bound ``N``."""
+        rhs_positions = tuple(self.columns.index(a) for a in self.rhs)
         for key, values in self._entries.items():
-            distinct_rhs = {
-                tuple(v[self.columns.index(a)] for a in self.rhs) for v in values
-            }
+            distinct_rhs = {tuple(v[p] for p in rhs_positions) for v in values}
             if len(distinct_rhs) > self.constraint.bound:
                 raise ConstraintViolation(self.constraint, key, len(distinct_rhs))
 
@@ -134,7 +140,18 @@ class IndexSet:
 
     def __init__(self, counter: AccessCounter | None = None):
         self._indexes: dict[AccessConstraint, ConstraintIndex] = {}
+        #: (relation, lhs, rhs) -> index, for O(1) shape lookups (first wins)
+        self._by_shape: dict[tuple[str, frozenset, frozenset], ConstraintIndex] = {}
+        #: relation -> its indexes, for O(per-relation) incremental maintenance
+        self._by_relation: dict[str, list[ConstraintIndex]] = {}
         self.counter = counter if counter is not None else AccessCounter()
+
+    def _register(self, constraint: AccessConstraint, index: ConstraintIndex) -> None:
+        self._indexes[constraint] = index
+        self._by_shape.setdefault(
+            (constraint.relation, constraint.lhs, constraint.rhs), index
+        )
+        self._by_relation.setdefault(constraint.relation, []).append(index)
 
     @classmethod
     def build(
@@ -156,7 +173,7 @@ class IndexSet:
             index = ConstraintIndex(constraint, relation)
             if check:
                 index.check()
-            index_set._indexes[constraint] = index
+            index_set._register(constraint, index)
         return index_set
 
     # -- protocol -------------------------------------------------------------------
@@ -185,17 +202,11 @@ class IndexSet:
 
         Actualized constraints keep the bound and attribute sets of the base
         constraint but rename the relation; this lookup lets the executor map
-        them back to the physical index built on the base relation.
+        them back to the physical index built on the base relation.  The
+        lookup is a single dict probe (when several constraints share a shape,
+        the first one registered wins, matching the historical scan order).
         """
-        lhs_set, rhs_set = frozenset(lhs), frozenset(rhs)
-        for constraint, index in self._indexes.items():
-            if (
-                constraint.relation == relation
-                and constraint.lhs == lhs_set
-                and constraint.rhs == rhs_set
-            ):
-                return index
-        return None
+        return self._by_shape.get((relation, frozenset(lhs), frozenset(rhs)))
 
     # -- size ------------------------------------------------------------------------
     @property
@@ -214,12 +225,10 @@ class IndexSet:
     # -- incremental maintenance (Proposition 12) ----------------------------------------
     def apply_insert(self, relation: str, row: Row) -> None:
         """Update all indexes of ``relation`` after a tuple insertion (O(N_A) per tuple)."""
-        for constraint, index in self._indexes.items():
-            if constraint.relation == relation:
-                index.add_row(row)
+        for index in self._by_relation.get(relation, ()):
+            index.add_row(row)
 
     def apply_delete(self, relation: str, row: Row, instance: RelationInstance | None = None) -> None:
-        """Update all indexes of ``relation`` after a tuple deletion."""
-        for constraint, index in self._indexes.items():
-            if constraint.relation == relation:
-                index.remove_row(row, instance)
+        """Update all indexes of ``relation`` after a tuple deletion (O(1) per index)."""
+        for index in self._by_relation.get(relation, ()):
+            index.remove_row(row, instance)

@@ -1,0 +1,77 @@
+"""Unit tests for canonical query fingerprints (the plan-cache key)."""
+
+import pytest
+
+from repro.core.fingerprint import canonical_form, query_fingerprint
+from repro.core.query import Rename, Relation, eq
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def r(tiny_schema):
+    return Relation.from_schema(tiny_schema, "r")
+
+
+class TestDeterminism:
+    def test_same_object_is_stable(self, fb_q1):
+        assert query_fingerprint(fb_q1) == query_fingerprint(fb_q1)
+
+    def test_structurally_equal_queries_collide(self):
+        """Two independently built, identical queries share one fingerprint."""
+        assert query_fingerprint(facebook.query_q1()) == query_fingerprint(
+            facebook.query_q1()
+        )
+
+    def test_digest_shape(self, fb_q1):
+        digest = query_fingerprint(fb_q1)
+        assert isinstance(digest, str)
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+
+class TestSensitivity:
+    def test_distinct_running_example_queries(self, fb_q0, fb_q0_prime, fb_q1, fb_q2):
+        digests = {query_fingerprint(q) for q in (fb_q0, fb_q0_prime, fb_q1, fb_q2)}
+        assert len(digests) == 4
+
+    def test_constant_parameters_distinguish(self):
+        assert query_fingerprint(facebook.query_q1(person="p0")) != query_fingerprint(
+            facebook.query_q1(person="p1")
+        )
+
+    def test_constant_type_distinguishes(self, r):
+        """1, "1" and True are equal under dataclass ==, but not as syntax."""
+        by_int = r.select(eq(r["a"], 1))
+        by_str = r.select(eq(r["a"], "1"))
+        by_bool = r.select(eq(r["a"], True))
+        digests = {query_fingerprint(q) for q in (by_int, by_str, by_bool)}
+        assert len(digests) == 3
+
+    def test_rename_target_distinguishes(self, r):
+        assert query_fingerprint(Rename(r, "r1")) != query_fingerprint(Rename(r, "r2"))
+
+    def test_occurrence_name_distinguishes(self, tiny_schema):
+        first = Relation.from_schema(tiny_schema, "r")
+        aliased = Relation("r_alias", tiny_schema["r"].attributes, base="r")
+        assert query_fingerprint(first) != query_fingerprint(aliased)
+
+    def test_projection_order_distinguishes(self, r):
+        assert query_fingerprint(r.project(["a", "b"])) != query_fingerprint(
+            r.project(["b", "a"])
+        )
+
+    def test_operand_order_distinguishes(self, tiny_schema):
+        r = Relation.from_schema(tiny_schema, "r")
+        s = Relation.from_schema(tiny_schema, "s")
+        assert query_fingerprint(r.product(s)) != query_fingerprint(s.product(r))
+
+
+class TestCanonicalForm:
+    def test_is_nested_tuple(self, fb_q1):
+        form = canonical_form(fb_q1)
+        assert isinstance(form, tuple)
+        assert form[0] == "proj"
+
+    def test_round_trips_through_repr(self, fb_q1):
+        """repr of the form is what gets hashed; it must be deterministic."""
+        assert repr(canonical_form(fb_q1)) == repr(canonical_form(facebook.query_q1()))

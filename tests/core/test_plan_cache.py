@@ -1,0 +1,169 @@
+"""Plan-cache correctness: hits, invalidation, and cache/optimizer equivalence."""
+
+import pytest
+
+from repro.core.engine import BoundedEngine, PlanCache, PreparedQuery
+from repro.evaluator.algebra import evaluate
+from repro.workloads import WORKLOADS, facebook
+from repro.bench.experiments import select_covered_queries
+
+
+@pytest.fixture
+def cached_engine(fb_database, fb_access):
+    return BoundedEngine(fb_database, fb_access)
+
+
+@pytest.fixture
+def uncached_engine(fb_database, fb_access):
+    return BoundedEngine(fb_database, fb_access, plan_cache_size=0)
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        a, b, c = (PreparedQuery(coverage=None) for _ in range(3))  # type: ignore[arg-type]
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refresh a; b is now least recent
+        cache.put("c", c)
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0)
+        cache.put("a", PreparedQuery(coverage=None))  # type: ignore[arg-type]
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_stats_accumulate(self):
+        cache = PlanCache(capacity=4)
+        entry = PreparedQuery(coverage=None)  # type: ignore[arg-type]
+        assert cache.get("k") is None
+        cache.put("k", entry)
+        assert cache.get("k") is entry
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["invalidations"] == 1
+        assert stats["entries"] == 0
+
+
+class TestCachedExecution:
+    def test_rows_identical_with_and_without_cache(
+        self, cached_engine, uncached_engine, fb_q1, fb_database
+    ):
+        expected = evaluate(fb_q1, fb_database).rows
+        assert cached_engine.execute(fb_q1).rows == expected
+        assert cached_engine.execute(fb_q1).rows == expected  # served from cache
+        assert uncached_engine.execute(fb_q1).rows == expected
+
+    def test_repeat_hits_cache(self, cached_engine, fb_q1):
+        first = cached_engine.execute(fb_q1)
+        second = cached_engine.execute(fb_q1)
+        assert not first.cached
+        assert second.cached
+        assert second.plan is first.plan  # the very same prepared plan object
+        stats = cached_engine.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_distinct_parameters_get_distinct_entries(self, cached_engine, fb_database):
+        q_p0 = facebook.query_q1(person="p0")
+        q_p1 = facebook.query_q1(person="p1")
+        r_p0 = cached_engine.execute(q_p0)
+        r_p1 = cached_engine.execute(q_p1)
+        assert not r_p1.cached  # no false sharing between distinct constants
+        assert r_p0.rows == evaluate(q_p0, fb_database).rows
+        assert r_p1.rows == evaluate(q_p1, fb_database).rows
+        assert cached_engine.cache_stats()["entries"] == 2
+
+    def test_minimize_flag_keys_separately(self, cached_engine, fb_q1):
+        cached_engine.execute(fb_q1, minimize=True)
+        result = cached_engine.execute(fb_q1, minimize=False)
+        assert not result.cached
+        assert result.minimization is None
+
+    def test_uncovered_verdict_cached_but_fallback_stays_fresh(
+        self, cached_engine, fb_q2, fb_database
+    ):
+        first = cached_engine.execute(fb_q2)
+        assert first.strategy == "conventional"
+        second = cached_engine.execute(fb_q2)
+        assert second.cached
+        assert second.strategy == "conventional"
+        assert second.rows == evaluate(fb_q2, fb_database).rows
+
+    def test_rewritten_query_served_from_cache(self, cached_engine, fb_q0):
+        first = cached_engine.execute(fb_q0)
+        second = cached_engine.execute(fb_q0)
+        assert first.strategy == second.strategy == "bounded"
+        assert first.rewrite == second.rewrite == "guard-difference"
+        assert second.cached
+        assert second.rows == first.rows
+
+
+class TestInvalidation:
+    def test_insert_invalidates_and_results_stay_correct(
+        self, cached_engine, fb_database
+    ):
+        q1 = facebook.query_q1()
+        before = cached_engine.execute(q1)
+        assert cached_engine.execute(q1).cached
+        cached_engine.apply_insert("cafe", ("c_new", "nyc"))
+        cached_engine.apply_insert("friend", ("p0", "p_new"))
+        cached_engine.apply_insert("dine", ("p_new", "c_new", "may", 2015))
+        after = cached_engine.execute(q1)
+        assert not after.cached  # cache was cleared by the updates
+        assert cached_engine.cache_stats()["invalidations"] >= 3
+        assert ("c_new",) in after.rows
+        assert after.rows == evaluate(q1, fb_database).rows
+        assert before.rows <= after.rows
+
+    def test_delete_invalidates_and_results_stay_correct(
+        self, cached_engine, fb_database
+    ):
+        q1 = facebook.query_q1()
+        cached_engine.apply_insert("cafe", ("c_gone", "nyc"))
+        cached_engine.apply_insert("friend", ("p0", "p88"))
+        cached_engine.apply_insert("dine", ("p88", "c_gone", "may", 2015))
+        assert ("c_gone",) in cached_engine.execute(q1).rows
+        cached_engine.apply_delete("dine", ("p88", "c_gone", "may", 2015))
+        result = cached_engine.execute(q1)
+        assert not result.cached
+        assert ("c_gone",) not in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_noop_update_keeps_cache(self, cached_engine, fb_database):
+        q1 = facebook.query_q1()
+        cached_engine.execute(q1)
+        existing = next(iter(fb_database.relation("cafe").rows))
+        cached_engine.apply_insert("cafe", existing)  # duplicate: no data change
+        assert cached_engine.execute(q1).cached
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_cache_and_optimizer_row_identical_on_workloads(name):
+    """Bounded results match with cache+optimizer on, off, and reference eval."""
+    workload = WORKLOADS[name]
+    database = workload.database(scale=60, seed=7)
+    queries = select_covered_queries(workload, count=2, seed=7, database=database)
+    assert queries, f"no covered queries generated for {name}"
+    full = BoundedEngine(database, workload.access_schema, check_constraints=False)
+    bare = BoundedEngine(
+        database,
+        workload.access_schema,
+        check_constraints=False,
+        plan_cache_size=0,
+        optimize=False,
+    )
+    for query in queries:
+        expected = evaluate(query, database).rows
+        for engine in (full, bare):
+            result = engine.execute(query)
+            assert result.strategy == "bounded"
+            assert result.rows == expected
+        # warm pass: served from cache, still identical
+        assert full.execute(query).rows == expected
