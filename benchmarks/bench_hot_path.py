@@ -1,25 +1,35 @@
-"""Repeated-query throughput: the plan cache + pipelined executor hot path.
+"""Repeated-query throughput: plan store + result cache + pipelined executor.
 
 A serving engine sees the same (parameterized) queries over and over; the
 paper's boundedness guarantees make each execution touch only ``D_Q``, but the
-wall-clock then hinges on how much work happens *around* the data.  This
-benchmark measures queries/second on repeated covered queries in two modes:
+wall-clock then hinges on how much work happens *around* the data.  Two
+scenarios are measured:
 
-* **cold** — plan cache disabled: every execution re-runs ``CovChk``,
+**Read-only** — queries/second on repeated covered queries in three modes:
+
+* **cold** — all caching disabled: every execution re-runs ``CovChk``,
   ``minA``, ``QPlan`` and plan optimization from scratch;
-* **warm** — plan cache enabled: after the first execution of each query,
-  repeats skip straight to the compiled plan.
+* **warm_plan** — plan store only: repeats skip straight to the compiled
+  plan but still execute it;
+* **warm** — plan store + result cache: repeats on unchanged data skip
+  execution entirely and serve the materialized bounded result.
 
-It also cross-checks correctness: for every query, the rows produced with
-cache+optimizer on, cache off, optimizer off, and by the reference evaluator
-must be identical.
+**Mixed read/write** — repeated queries interleaved with writes to a
+relation *unrelated* to every query's dependency set, comparing
+constraint-granular invalidation against the legacy clear-all mode
+(``granular_invalidation=False``).  With granular invalidation the writes
+must cause **zero** plan recompilations and zero re-executions (asserted via
+cache stats); with clear-all every write flushes both caches.  Afterwards a
+*dependent* write is applied and results are cross-checked row-for-row
+against the uncached reference evaluator on the changed data.
 
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_hot_path.py --quick --output BENCH_hot_path.json
 
-The JSON report records per-workload cold/warm throughput, the speedup, and
-the engine's cache statistics, so the perf trajectory is a tracked number.
+The JSON report records per-workload throughput, the speedups, and the
+engine's cache statistics, so the perf trajectory is a tracked number (see
+``benchmarks/track_trajectory.py``).
 """
 
 from __future__ import annotations
@@ -38,6 +48,29 @@ from repro.bench.experiments import select_covered_queries  # noqa: E402
 from repro.core.engine import BoundedEngine  # noqa: E402
 from repro.evaluator.algebra import evaluate  # noqa: E402
 from repro.workloads import WORKLOADS  # noqa: E402
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    """Per-cache counter deltas between two cache_stats() snapshots.
+
+    Gauge-style keys (capacity, entries, hit_rate) are taken from ``after``;
+    the hit rate is recomputed from the delta traffic only.
+    """
+    delta: dict[str, dict] = {}
+    for cache_name, counters in after.items():
+        base = before.get(cache_name, {})
+        cache_delta = {}
+        for key, value in counters.items():
+            if key in ("capacity", "entries"):
+                cache_delta[key] = value
+            elif key != "hit_rate":
+                cache_delta[key] = value - base.get(key, 0)
+        requests = cache_delta.get("hits", 0) + cache_delta.get("misses", 0)
+        cache_delta["hit_rate"] = (
+            round(cache_delta.get("hits", 0) / requests, 4) if requests else 0.0
+        )
+        delta[cache_name] = cache_delta
+    return delta
 
 
 def _throughput(engine: BoundedEngine, queries, repeats: int) -> tuple[float, int]:
@@ -62,34 +95,50 @@ def bench_workload(name: str, *, scale: int, query_count: int, repeats: int) -> 
         return {"workload": name, "skipped": "no covered queries generated"}
 
     cold = BoundedEngine(
-        database, workload.access_schema, check_constraints=False, plan_cache_size=0
+        database,
+        workload.access_schema,
+        check_constraints=False,
+        plan_cache_size=0,
+        result_cache_size=0,
     )
-    warm = BoundedEngine(
-        database, workload.access_schema, check_constraints=False
+    warm_plan = BoundedEngine(
+        database, workload.access_schema, check_constraints=False, result_cache_size=0
     )
+    warm = BoundedEngine(database, workload.access_schema, check_constraints=False)
     plain = BoundedEngine(
         database,
         workload.access_schema,
         check_constraints=False,
         plan_cache_size=0,
+        result_cache_size=0,
         optimize=False,
     )
 
-    # Correctness first: cache on/off, optimizer on/off, reference semantics.
+    # Correctness first: caches on/off, optimizer on/off, reference semantics.
     for query in queries:
         expected = evaluate(query, database).rows
-        for engine in (cold, warm, plain):
+        for engine in (cold, warm_plan, warm, plain):
             rows = engine.execute(query).rows
             if rows != expected:
                 raise AssertionError(
                     f"{name}: result mismatch for\n{query}\n"
                     f"expected {len(expected)} rows, got {len(rows)}"
                 )
+        # repeats served from the result cache must be row-identical too
+        if warm.execute(query).rows != expected:
+            raise AssertionError(f"{name}: result-cache mismatch for\n{query}")
 
-    warm.plan_cache.invalidate()  # measure the warm path from a clean cache
-    warm_up_qps, _ = _throughput(warm, queries, 1)  # first pass populates the cache
+    for engine in (warm_plan, warm):  # measure the warm paths from clean caches
+        engine.plan_cache.invalidate()
+        engine.result_cache.invalidate()
+    warm_up_qps, _ = _throughput(warm, queries, 1)  # first pass populates the caches
+    _throughput(warm_plan, queries, 1)
+    stats_before = warm.cache_stats()  # counters also include the phases above...
     cold_qps, cold_runs = _throughput(cold, queries, repeats)
+    warm_plan_qps, _ = _throughput(warm_plan, queries, repeats)
     warm_qps, warm_runs = _throughput(warm, queries, repeats)
+    # ...so report only the measured passes' traffic.
+    measured_stats = _stats_delta(stats_before, warm.cache_stats())
 
     return {
         "workload": name,
@@ -98,9 +147,133 @@ def bench_workload(name: str, *, scale: int, query_count: int, repeats: int) -> 
         "executions": {"cold": cold_runs, "warm": warm_runs},
         "cold_qps": round(cold_qps, 2),
         "warm_first_pass_qps": round(warm_up_qps, 2),
+        "warm_plan_qps": round(warm_plan_qps, 2),
         "warm_qps": round(warm_qps, 2),
         "speedup": round(warm_qps / cold_qps, 2) if cold_qps else None,
-        "cache": warm.cache_stats(),
+        "plan_speedup": round(warm_plan_qps / cold_qps, 2) if cold_qps else None,
+        "cache": measured_stats,
+    }
+
+
+def _mixed_engine(database, workload, *, granular: bool) -> BoundedEngine:
+    return BoundedEngine(
+        database,
+        workload.access_schema,
+        check_constraints=False,
+        granular_invalidation=granular,
+    )
+
+
+def bench_mixed(name: str, *, scale: int, query_count: int, batches: int,
+                reads_per_batch: int) -> dict:
+    """Interleave unrelated writes with repeated reads: granular vs clear-all.
+
+    Each write event deletes and re-inserts one existing row of a relation no
+    query depends on — a real pair of data changes (two version bumps, two
+    sweeps) that leaves the data equal to its initial state, so results stay
+    comparable against a fixed reference.
+    """
+    workload = WORKLOADS[name]
+
+    def setup(granular: bool):
+        database = workload.database(scale=scale, seed=7)
+        queries = select_covered_queries(
+            workload, count=query_count, seed=7, database=database
+        )
+        engine = _mixed_engine(database, workload, granular=granular)
+        return database, queries, engine
+
+    database, queries, probe = setup(True)
+    if not queries:
+        return {"workload": name, "skipped": "no covered queries generated"}
+
+    dependencies: set[str] = set()
+    for query in queries:
+        prepared, _ = probe.prepare(query)
+        dependencies.update(prepared.dependencies)
+    unrelated = [
+        relation
+        for relation in database.relation_names()
+        if relation not in dependencies and len(database.relation(relation)) > 0
+    ]
+    if not unrelated:
+        return {"workload": name, "skipped": "every relation is a query dependency"}
+    write_relation = unrelated[0]
+    related_relation = sorted(dependencies)[0]
+
+    results: dict[str, dict] = {}
+    for mode, granular in (("granular", True), ("clear_all", False)):
+        database, queries, engine = setup(granular)
+        write_row = next(iter(database.relation(write_relation)))
+        expected = {id(q): evaluate(q, database).rows for q in queries}
+        for query in queries:  # warm both caches
+            engine.execute(query)
+        before = engine.cache_stats()
+        reads = 0
+        started = time.perf_counter()
+        for _ in range(batches):
+            engine.apply_delete(write_relation, write_row)
+            engine.apply_insert(write_relation, write_row)
+            for _ in range(reads_per_batch):
+                for query in queries:
+                    engine.execute(query)
+                    reads += 1
+        elapsed = time.perf_counter() - started
+        after = engine.cache_stats()
+        invalidated = (
+            after["plan_store"]["invalidated"] - before["plan_store"]["invalidated"]
+        )
+        result_hits = after["result_cache"]["hits"] - before["result_cache"]["hits"]
+        for query in queries:  # rows must still match the uncached reference
+            if engine.execute(query).rows != expected[id(query)]:
+                raise AssertionError(f"{name}/{mode}: mixed-scenario row mismatch")
+        results[mode] = {
+            "qps": round(reads / elapsed, 2) if elapsed > 0 else float("inf"),
+            "reads": reads,
+            "writes": 2 * batches,
+            "entries_invalidated": invalidated,
+            "result_cache_hits": result_hits,
+            "stats": after,
+        }
+        if granular:
+            # Acceptance: unrelated writes leave plans AND results untouched —
+            # every post-warmup read is a result-cache hit, nothing recompiled.
+            if invalidated != 0:
+                raise AssertionError(
+                    f"{name}: granular mode invalidated {invalidated} plan entries "
+                    "on writes to an unrelated relation"
+                )
+            if result_hits < batches * reads_per_batch * len(queries):
+                raise AssertionError(
+                    f"{name}: granular mode re-executed queries after unrelated "
+                    f"writes ({result_hits} result-cache hits)"
+                )
+            # Dependent-write epilogue: a real data change must be reflected.
+            victim = next(iter(database.relation(related_relation)))
+            engine.apply_delete(related_relation, victim)
+            for query in queries:
+                if engine.execute(query).rows != evaluate(query, database).rows:
+                    raise AssertionError(
+                        f"{name}: stale rows served after dependent delete"
+                    )
+            engine.apply_insert(related_relation, victim)
+            for query in queries:
+                if engine.execute(query).rows != expected[id(query)]:
+                    raise AssertionError(
+                        f"{name}: stale rows served after dependent re-insert"
+                    )
+
+    granular_qps = results["granular"]["qps"]
+    clear_all_qps = results["clear_all"]["qps"]
+    return {
+        "workload": name,
+        "scale": scale,
+        "queries": len(queries),
+        "write_relation": write_relation,
+        "dependencies": sorted(dependencies),
+        "granular": results["granular"],
+        "clear_all": results["clear_all"],
+        "speedup": round(granular_qps / clear_all_qps, 2) if clear_all_qps else None,
     }
 
 
@@ -112,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=int, default=None, help="workload scale")
     parser.add_argument("--queries", type=int, default=None, help="covered queries per workload")
     parser.add_argument("--repeats", type=int, default=None, help="passes over the query set")
+    parser.add_argument("--write-batches", type=int, default=None,
+                        help="write events in the mixed scenario")
     parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON report to this path"
     )
@@ -120,8 +295,10 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale if args.scale is not None else (120 if args.quick else 220)
     query_count = args.queries if args.queries is not None else (3 if args.quick else 5)
     repeats = args.repeats if args.repeats is not None else (5 if args.quick else 20)
+    batches = args.write_batches if args.write_batches is not None else (10 if args.quick else 40)
 
     results = []
+    mixed_results = []
     for name in sorted(WORKLOADS):
         result = bench_workload(
             name, scale=scale, query_count=query_count, repeats=repeats
@@ -132,14 +309,40 @@ def main(argv: list[str] | None = None) -> int:
             continue
         print(
             f"{name}: cold {result['cold_qps']:.1f} q/s, "
+            f"warm-plan {result['warm_plan_qps']:.1f} q/s, "
             f"warm {result['warm_qps']:.1f} q/s, "
             f"speedup {result['speedup']:.2f}x "
-            f"(hit rate {result['cache']['hit_rate']:.2f})"
+            f"(plan hit rate {result['cache']['plan_store']['hit_rate']:.2f}, "
+            f"result hit rate {result['cache']['result_cache']['hit_rate']:.2f})"
+        )
+
+    for name in sorted(WORKLOADS):
+        mixed = bench_mixed(
+            name, scale=scale, query_count=query_count,
+            batches=batches, reads_per_batch=max(1, repeats),
+        )
+        mixed_results.append(mixed)
+        if "skipped" in mixed:
+            print(f"{name} mixed: skipped ({mixed['skipped']})")
+            continue
+        print(
+            f"{name} mixed: granular {mixed['granular']['qps']:.1f} q/s "
+            f"(0 invalidations on {mixed['granular']['writes']} unrelated writes), "
+            f"clear-all {mixed['clear_all']['qps']:.1f} q/s, "
+            f"speedup {mixed['speedup']:.2f}x"
         )
 
     measured = [r for r in results if "speedup" in r and r["speedup"] is not None]
     overall = (
         round(sum(r["speedup"] for r in measured) / len(measured), 2) if measured else None
+    )
+    measured_mixed = [
+        r for r in mixed_results if "speedup" in r and r["speedup"] is not None
+    ]
+    overall_mixed = (
+        round(sum(r["speedup"] for r in measured_mixed) / len(measured_mixed), 2)
+        if measured_mixed
+        else None
     )
     report = {
         "benchmark": "hot_path",
@@ -147,9 +350,12 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale,
         "repeats": repeats,
         "workloads": results,
+        "mixed": mixed_results,
         "mean_speedup": overall,
+        "mean_mixed_speedup": overall_mixed,
     }
     print(f"mean warm/cold speedup: {overall}x")
+    print(f"mean granular/clear-all mixed speedup: {overall_mixed}x")
 
     if args.output is not None:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

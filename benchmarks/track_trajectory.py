@@ -1,0 +1,150 @@
+"""Perf-trajectory tracking: append bench reports, gate on regressions.
+
+Reads the JSON report written by ``bench_hot_path.py``, appends a compact
+entry to a tracked time series (``BENCH_trajectory.json``), and **fails**
+(exit code 1) when warm-path throughput regressed more than ``--threshold``
+(default 30%) against the previous recorded entry of the same mode.
+
+The comparison is the geometric mean of per-workload ``warm_qps`` ratios —
+robust to workloads with very different absolute throughput.  Entries of
+different modes (``--quick`` vs full) are never compared against each other,
+and absolute throughput is only compared between entries recorded on the
+**same host**: against an entry from a different machine (e.g. a laptop
+baseline vs a CI runner) the gate falls back to the dimensionless
+``mean_speedup`` (warm/cold ratio), which tracks how much the hot path wins
+over re-planning independently of how fast the hardware is.
+
+Usage (as wired into CI)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --quick --output BENCH_hot_path.json
+    python benchmarks/track_trajectory.py --bench BENCH_hot_path.json \
+        --trajectory BENCH_trajectory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+
+def _git_commit() -> str | None:
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    return head.stdout.strip() or None if head.returncode == 0 else None
+
+
+def entry_from_report(report: dict) -> dict:
+    """The compact trajectory entry for one bench report."""
+    warm_qps = {
+        w["workload"]: w["warm_qps"]
+        for w in report.get("workloads", [])
+        if "warm_qps" in w
+    }
+    mixed_speedup = {
+        m["workload"]: m["speedup"]
+        for m in report.get("mixed", [])
+        if m.get("speedup") is not None
+    }
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "host": platform.node() or "unknown",
+        "mode": report.get("mode", "unknown"),
+        "warm_qps": warm_qps,
+        "mean_speedup": report.get("mean_speedup"),
+        "mixed_speedup": mixed_speedup,
+    }
+
+
+def regression_ratio(previous: dict, current: dict) -> float | None:
+    """Geometric-mean ratio of current/previous warm throughput (None: no overlap)."""
+    shared = [
+        name
+        for name, qps in previous.get("warm_qps", {}).items()
+        if qps and current.get("warm_qps", {}).get(name)
+    ]
+    if not shared:
+        return None
+    logs = [
+        math.log(current["warm_qps"][name] / previous["warm_qps"][name])
+        for name in shared
+    ]
+    return math.exp(sum(logs) / len(logs))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=Path, default=Path("BENCH_hot_path.json"),
+                        help="bench report to record (from bench_hot_path.py)")
+    parser.add_argument("--trajectory", type=Path, default=Path("BENCH_trajectory.json"),
+                        help="tracked time-series file to append to")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max tolerated warm-qps regression (0.30 = 30%%)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the entry but never fail")
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.bench.read_text())
+    entry = entry_from_report(report)
+
+    if args.trajectory.exists():
+        trajectory = json.loads(args.trajectory.read_text())
+    else:
+        trajectory = {"benchmark": "hot_path", "entries": []}
+
+    previous = next(
+        (e for e in reversed(trajectory["entries"]) if e.get("mode") == entry["mode"]),
+        None,
+    )
+    trajectory["entries"].append(entry)
+    args.trajectory.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(
+        f"recorded entry #{len(trajectory['entries'])} "
+        f"(mode={entry['mode']}, commit={entry['commit']}) in {args.trajectory}"
+    )
+
+    if previous is None:
+        print("no previous entry of this mode: nothing to gate against")
+        return 0
+    if previous.get("host") == entry["host"]:
+        ratio = regression_ratio(previous, entry)
+        metric = "warm throughput"
+    else:
+        # Different hardware: absolute qps is not comparable; gate on the
+        # warm/cold speedup ratio, which is machine-independent.
+        prev_speedup, cur_speedup = previous.get("mean_speedup"), entry["mean_speedup"]
+        ratio = (cur_speedup / prev_speedup) if prev_speedup and cur_speedup else None
+        metric = f"warm/cold speedup (cross-host vs {previous.get('host')})"
+    if ratio is None:
+        print("no comparable metric with the previous entry: gate skipped")
+        return 0
+    print(
+        f"{metric} vs previous run ({previous.get('commit')}): "
+        f"{ratio:.2f}x (gate: >= {1 - args.threshold:.2f}x)"
+    )
+    if not args.no_gate and ratio < 1 - args.threshold:
+        print(
+            f"FAIL: {metric} regressed more than "
+            f"{args.threshold:.0%} vs the previous recorded run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

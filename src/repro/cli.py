@@ -125,15 +125,29 @@ def command_run(args) -> int:
     database, access = _load_source(args)
     query = _parse_query(args, database)
     engine = BoundedEngine(database, access, check_constraints=False)
-    result = engine.execute(query, minimize=not args.no_minimize)
+    repeat = max(1, args.repeat)
+    for _ in range(repeat):
+        result = engine.execute(query, minimize=not args.no_minimize)
     for row in sorted(result.rows, key=repr):
         print("\t".join(str(value) for value in row))
+    served = (
+        " | served from result cache" if result.result_cached else ""
+    )
     print(
         f"-- {len(result.rows)} rows | strategy: {result.strategy} | rewrite: {result.rewrite} | "
         f"accessed {result.counter.total} of {database.size} tuples "
-        f"(P(D_Q) = {result.access_ratio(database.size):.6f}) in {result.elapsed * 1000:.1f}ms",
+        f"(P(D_Q) = {result.access_ratio(database.size):.6f}) in {result.elapsed * 1000:.1f}ms"
+        f"{served}",
         file=sys.stderr,
     )
+    if args.cache_stats:
+        stats = engine.cache_stats()
+        for cache_name in ("plan_store", "result_cache"):
+            line = " ".join(
+                f"{key}={value:.2f}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in stats[cache_name].items()
+            )
+            print(f"-- {cache_name}: {line}", file=sys.stderr)
     return 0
 
 
@@ -200,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(run)
     run.add_argument("--sql", required=True)
     run.add_argument("--no-minimize", action="store_true")
+    run.add_argument("--repeat", type=int, default=1,
+                     help="execute the query N times (exercises the hot path; "
+                          "repeats are served from the plan store / result cache)")
+    run.add_argument("--cache-stats", action="store_true",
+                     help="print plan-store and result-cache statistics to stderr")
     run.set_defaults(handler=command_run)
 
     discover = subparsers.add_parser("discover", help="mine access constraints from data")

@@ -10,17 +10,19 @@ The sub-modules mirror the sections of the paper:
 * :mod:`repro.core.plan2sql` — translation of bounded plans to SQL (Section 7)
 * :mod:`repro.core.engine` — the end-to-end framework of Section 7
 
-Two modules go beyond the paper, toward a serving engine: :mod:`repro.core.
-fingerprint` computes canonical query fingerprints for the engine's plan
-cache, and :mod:`repro.core.optimizer` peephole-optimizes canonical plans
-(hash-join fusion, projection pushdown, common-subplan elimination).
+Three modules go beyond the paper, toward a serving engine: :mod:`repro.core.
+fingerprint` computes canonical query fingerprints for the engine's caches,
+:mod:`repro.core.planstore` holds the shareable plan store and the versioned
+result cache, and :mod:`repro.core.optimizer` peephole-optimizes canonical
+plans (hash-join fusion, projection pushdown, common-subplan elimination).
 """
 
 from .access import AccessConstraint, AccessSchema
 from .approximate import ApproximateResult, approximate_answer
 from .coverage import CoverageResult, check_coverage, is_covered
 from .engine import BoundedEngine, EngineResult, PlanCache, PreparedQuery
-from .fingerprint import canonical_form, query_fingerprint
+from .fingerprint import canonical_form, prepared_cache_key, query_fingerprint
+from .planstore import CachedResult, PlanStore, ResultCache
 from .optimizer import optimize_plan
 from .minimize import (
     MinimizationResult,
@@ -82,6 +84,9 @@ __all__ = [
     "ParseError",
     "PlanError",
     "PlanCache",
+    "PlanStore",
+    "CachedResult",
+    "ResultCache",
     "PreparedQuery",
     "Product",
     "Projection",
@@ -109,6 +114,7 @@ __all__ = [
     "optimize_plan",
     "plan_query",
     "plan_to_sql",
+    "prepared_cache_key",
     "query_fingerprint",
     "query_to_sql",
 ]

@@ -13,20 +13,43 @@ the in-memory substrate:
   queries that are not covered (and cannot be rewritten into a covered
   equivalent) fall back to conventional evaluation.
 
-On top of the paper's pipeline the engine maintains a **plan cache**: C2–C4
-(plus the peephole optimization of :mod:`repro.core.optimizer`) depend only on
-the query syntax and the access schema, so their output is cached under the
-query's canonical fingerprint (:mod:`repro.core.fingerprint`).  Repeated
-queries — the hot path of any serving workload — skip straight to C6 against
-an already-compiled plan.
+Caching architecture
+--------------------
+
+On top of the paper's pipeline the engine is a **versioned serving core**
+built from three layers (see :mod:`repro.core.planstore`):
+
+* **Plan store** — C2–C4 (plus the peephole optimization of
+  :mod:`repro.core.optimizer`) depend only on the query syntax and the
+  access schema, so their output is cached under the query's canonical
+  fingerprint (:func:`repro.core.fingerprint.prepared_cache_key`).  The
+  store is *shareable*: pass one :class:`~repro.core.planstore.PlanStore`
+  to several engines (shards) serving the same access schema and each query
+  is prepared once fleet-wide.  Entries are tagged with the base relations
+  their plan fetches from, so a write invalidates only dependents.
+
+* **Result cache** — covered results are bounded by the access schema
+  (≤ ``access_bound()`` tuples), so the engine also keeps a per-engine
+  :class:`~repro.core.planstore.ResultCache` keyed by ``(fingerprint,
+  dependency version snapshot)``.  Repeated covered queries on unchanged
+  data are served without executing at all; a write to a dependent relation
+  changes the snapshot and the entry misses.
+
+* **Version clock** — the database stamps every data-changing write with a
+  monotonically increasing version per relation
+  (:class:`~repro.storage.counters.VersionClock`).  The engine's
+  maintenance path (:meth:`BoundedEngine.apply_insert` /
+  :meth:`~BoundedEngine.apply_delete` / the batched
+  :meth:`~BoundedEngine.apply_updates`) bumps the clock and sweeps both
+  caches *granularly*: only entries depending on the written relation are
+  dropped, and one batch costs one version bump plus one sweep.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Hashable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 from ..evaluator.baseline import evaluate_conventional
 from ..evaluator.executor import ExecutionResult, PlanExecutor
@@ -36,14 +59,22 @@ from ..storage.index import IndexSet
 from .access import AccessSchema
 from .coverage import CoverageResult, check_coverage
 from .errors import NotCoveredError
-from .fingerprint import query_fingerprint
+from .fingerprint import prepared_cache_key
 from .minimize import MinimizationResult, minimize_auto
 from .optimizer import optimize_plan
 from .plan import BoundedPlan
 from .plan2sql import SQLTranslation, plan_to_sql
 from .planner import generate_plan
+from .planstore import PlanStore, ResultCache
 from .query import Query
 from .rewrite import find_covered_rewrite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..discovery.maintenance import MaintenanceReport, Update
+
+#: Backward-compatible alias: the LRU plan cache of PR 1, now the shareable
+#: dependency-tagged store of :mod:`repro.core.planstore`.
+PlanCache = PlanStore
 
 
 @dataclass
@@ -53,7 +84,9 @@ class EngineResult:
     ``strategy`` is ``"bounded"`` when a bounded plan was executed (possibly
     for a rewritten equivalent of the input query), and ``"conventional"``
     when the engine fell back to full evaluation.  ``cached`` reports whether
-    the coverage/minimization/planning work was served from the plan cache.
+    the coverage/minimization/planning work was served from the plan store;
+    ``result_cached`` reports whether even execution was skipped because the
+    result cache held a version-valid materialized answer.
     """
 
     rows: frozenset[tuple]
@@ -66,6 +99,7 @@ class EngineResult:
     minimization: MinimizationResult | None = None
     rewrite: str = "identity"
     cached: bool = False
+    result_cached: bool = False
 
     def access_ratio(self, database_size: int) -> float:
         """``P(D_Q)`` for this execution."""
@@ -79,7 +113,9 @@ class PreparedQuery:
     For covered (or rewritable) queries ``plan`` holds the canonical bounded
     plan and ``executable`` the optimized plan actually run; for uncovered
     queries both are ``None`` and only ``coverage`` is kept, so the fallback
-    decision itself is also cached.
+    decision itself is also cached.  ``dependencies`` names the base
+    relations the executable plan fetches from — the entry's invalidation
+    footprint.
     """
 
     coverage: CoverageResult
@@ -88,70 +124,24 @@ class PreparedQuery:
     minimization: MinimizationResult | None = None
     rewrite: str = "identity"
     target: Query | None = None
+    dependencies: tuple[str, ...] = ()
 
     @property
     def covered(self) -> bool:
         return self.plan is not None
 
 
-class PlanCache:
-    """An LRU cache from query fingerprints to :class:`PreparedQuery` entries.
-
-    A ``capacity`` of zero (or less) disables caching: every lookup misses and
-    nothing is stored.  The cache tracks hit/miss/eviction/invalidation
-    counts for :meth:`BoundedEngine.cache_stats`-style reporting.
-    """
-
-    def __init__(self, capacity: int = 128):
-        self.capacity = capacity
-        self._entries: OrderedDict[Hashable, PreparedQuery] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: Hashable) -> PreparedQuery | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
-
-    def put(self, key: Hashable, entry: PreparedQuery) -> None:
-        if self.capacity <= 0:
-            return
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-
-    def invalidate(self) -> None:
-        """Drop every entry (called when the underlying data changes)."""
-        if self._entries:
-            self._entries.clear()
-        self.invalidations += 1
-
-    def stats(self) -> dict[str, int | float]:
-        requests = self.hits + self.misses
-        return {
-            "capacity": self.capacity,
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": (self.hits / requests) if requests else 0.0,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
-
-
 class BoundedEngine:
-    """Bounded evaluation of RA queries over an in-memory database."""
+    """Bounded evaluation of RA queries over an in-memory database.
+
+    ``plan_store`` lets several engines share one prepared-plan store; they
+    must be configured with an identical access schema (plans embed its
+    constraints).  When omitted, the engine creates a private store of
+    ``plan_cache_size`` entries.  ``result_cache_size`` bounds the per-engine
+    result cache (0 disables result caching).  ``granular_invalidation``
+    selects the constraint-granular write path; turning it off restores the
+    clear-all behaviour of PR 1 (kept for benchmarking the difference).
+    """
 
     def __init__(
         self,
@@ -161,7 +151,10 @@ class BoundedEngine:
         build_indexes: bool = True,
         check_constraints: bool = True,
         plan_cache_size: int = 128,
+        plan_store: PlanStore | None = None,
+        result_cache_size: int = 256,
         optimize: bool = True,
+        granular_invalidation: bool = True,
     ):
         self.database = database
         self.access_schema = access_schema
@@ -175,8 +168,10 @@ class BoundedEngine:
         else:
             self.indexes = IndexSet()
         self._executor = PlanExecutor(database, self.indexes)
-        self.plan_cache = PlanCache(plan_cache_size)
+        self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
         self.optimize = optimize
+        self.granular_invalidation = granular_invalidation
 
     # -- C2: coverage -----------------------------------------------------------
     def check(self, query: Query) -> CoverageResult:
@@ -214,7 +209,12 @@ class BoundedEngine:
 
     # -- query preparation (C2-C4, cached) --------------------------------------------
     def _cache_key(self, query: Query, minimize: bool, allow_rewrite: bool) -> Hashable:
-        return (query_fingerprint(query), minimize, allow_rewrite)
+        return prepared_cache_key(
+            query,
+            minimize=minimize,
+            allow_rewrite=allow_rewrite,
+            optimize=self.optimize,
+        )
 
     def _prepare(self, query: Query, *, minimize: bool, allow_rewrite: bool) -> PreparedQuery:
         """Run coverage, rewriting, minimization, planning and optimization."""
@@ -245,19 +245,33 @@ class BoundedEngine:
             minimization=minimization,
             rewrite=rewrite_name,
             target=target,
+            dependencies=executable.dependency_relations(),
         )
 
     def prepare(
         self, query: Query, *, minimize: bool = True, allow_rewrite: bool = True
     ) -> tuple[PreparedQuery, bool]:
         """The cached C2-C4 pipeline; returns ``(prepared, was_cache_hit)``."""
+        _, entry, hit = self._prepare_keyed(query, minimize, allow_rewrite)
+        return entry, hit
+
+    def _prepare_keyed(
+        self, query: Query, minimize: bool, allow_rewrite: bool
+    ) -> tuple[Hashable, PreparedQuery, bool]:
+        """:meth:`prepare` plus the cache key, fingerprinted exactly once.
+
+        The same key addresses the plan store and the result cache, and
+        fingerprinting is most of the remaining work on a result-cache hit —
+        so the hot path must not compute it twice.
+        """
         key = self._cache_key(query, minimize, allow_rewrite)
         entry = self.plan_cache.get(key)
         if entry is not None:
-            return entry, True
+            return key, entry, True
         entry = self._prepare(query, minimize=minimize, allow_rewrite=allow_rewrite)
-        self.plan_cache.put(key, entry)
-        return entry, False
+        evicted = self.plan_cache.put(key, entry, dependencies=entry.dependencies)
+        self._discard_compiled(evicted)
+        return key, entry, False
 
     # -- C6: execution -------------------------------------------------------------------
     def execute(
@@ -273,14 +287,37 @@ class BoundedEngine:
         With ``allow_rewrite`` the engine also tries the A-equivalent rewrites
         of :mod:`repro.core.rewrite` (difference guarding, branch pruning)
         before giving up on bounded evaluation.  Repeated queries hit the plan
-        cache and skip coverage checking, minimization and planning entirely.
+        store and skip coverage checking, minimization and planning entirely;
+        repeated covered queries over unchanged dependent relations are
+        served straight from the result cache without executing.
         """
-        prepared, cached = self.prepare(
-            query, minimize=minimize, allow_rewrite=allow_rewrite
-        )
+        key, prepared, cached = self._prepare_keyed(query, minimize, allow_rewrite)
 
         if prepared.covered:
+            snapshot = self.database.clock.snapshot(prepared.dependencies)
+            hit = self.result_cache.get(key, snapshot)
+            if hit is not None:
+                return EngineResult(
+                    rows=hit.rows,
+                    columns=hit.columns,
+                    strategy="bounded",
+                    elapsed=0.0,
+                    counter=AccessCounter(),
+                    plan=prepared.plan,
+                    coverage=prepared.coverage,
+                    minimization=prepared.minimization,
+                    rewrite=prepared.rewrite,
+                    cached=cached,
+                    result_cached=True,
+                )
             execution: ExecutionResult = self._executor.execute(prepared.executable)
+            self.result_cache.put(
+                key,
+                rows=execution.rows,
+                columns=execution.columns,
+                dependencies=prepared.dependencies,
+                snapshot=snapshot,
+            )
             return EngineResult(
                 rows=execution.rows,
                 columns=execution.columns,
@@ -309,18 +346,38 @@ class BoundedEngine:
         )
 
     # -- C1: maintenance -------------------------------------------------------------------
-    # Updates clear the plan cache wholesale.  Today every cached artifact is
-    # data-independent, so this is purely conservative — it future-proofs
-    # against statistics-driven planning and keeps the invalidation contract
-    # simple.  Constraint-granular invalidation (via plan.constraints_used())
-    # is the planned refinement; see ROADMAP "Open items".
+    def _after_write(self, relations: Iterable[str]) -> None:
+        """Bump the version clock and sweep the caches after a data change.
+
+        With granular invalidation only entries whose plans fetch from the
+        written relations are dropped — prepared plans themselves are
+        data-independent, but dropping dependents keeps the contract simple
+        and future-proofs against statistics-driven planning; version
+        snapshots already keep the result cache *correct*, the sweep keeps
+        it small.  Compiled kernels of dropped entries are released from the
+        executor.  Without granular invalidation both caches are cleared
+        wholesale (the PR 1 behaviour, kept for comparison benchmarks).
+        """
+        touched = tuple(relations)
+        self.database.clock.bump(touched)
+        scope = touched if self.granular_invalidation else None
+        self._discard_compiled(self.plan_cache.invalidate(scope))
+        self.result_cache.invalidate(scope)
+
+    def _discard_compiled(self, entries: Iterable[object]) -> None:
+        """Release the executor's compiled kernels of dropped store entries."""
+        for entry in entries:
+            executable = getattr(entry, "executable", None)
+            if executable is not None:
+                self._executor.discard(executable)
+
     def apply_insert(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Insert a tuple and incrementally maintain the indexes (Proposition 12)."""
         instance = self.database.relation(relation)
         prepared = instance._prepare(row)
         if instance.insert(prepared):
             self.indexes.apply_insert(relation, prepared)
-            self.plan_cache.invalidate()
+            self._after_write((relation,))
 
     def apply_delete(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Delete a tuple and incrementally maintain the indexes (Proposition 12)."""
@@ -328,7 +385,27 @@ class BoundedEngine:
         prepared = instance._prepare(row)
         if instance.delete(prepared):
             self.indexes.apply_delete(relation, prepared, instance)
-            self.plan_cache.invalidate()
+            self._after_write((relation,))
+
+    def apply_updates(self, updates: Iterable["Update"]) -> "MaintenanceReport":
+        """Apply a batch of updates with one version bump and one cache sweep.
+
+        Routes :class:`repro.discovery.maintenance.Update` batches through
+        the incremental maintenance of Proposition 12 against this engine's
+        database and indexes, then settles the serving state once for the
+        whole batch: a single version tick stamping every touched relation
+        and a single targeted invalidation sweep — instead of the per-row
+        clear-alls a loop over :meth:`apply_insert` would cost.
+        """
+        from ..discovery.maintenance import apply_updates as _apply_updates
+
+        report = _apply_updates(
+            self.database, self.indexes, self.access_schema, updates, bump_clock=False
+        )
+        if report.touched_relations:
+            self._after_write(sorted(report.touched_relations))
+            report.version = self.database.version
+        return report
 
     # -- reporting ----------------------------------------------------------------------------
     def index_footprint(self) -> dict[str, object]:
@@ -343,6 +420,9 @@ class BoundedEngine:
             "constraints": len(self.access_schema),
         }
 
-    def cache_stats(self) -> dict[str, int | float]:
-        """Plan-cache hit/miss statistics, in the style of :meth:`index_footprint`."""
-        return self.plan_cache.stats()
+    def cache_stats(self) -> dict[str, dict[str, int | float]]:
+        """Plan-store and result-cache statistics, reported separately."""
+        return {
+            "plan_store": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+        }

@@ -1,11 +1,14 @@
-"""Canonical query fingerprints for the plan cache.
+"""Canonical query fingerprints for the plan store and result cache.
 
 Coverage checking, access minimization and plan generation depend only on the
 *syntax* of a query (plus the access schema), never on the data.  Two
 executions of syntactically identical queries can therefore share one bounded
-plan.  This module computes a canonical, hashable fingerprint of a
-:class:`~repro.core.query.Query` so that :class:`~repro.core.engine.PlanCache`
-can key prepared plans by it.
+plan — even across engine instances serving the same access schema.  This
+module computes a canonical, hashable fingerprint of a
+:class:`~repro.core.query.Query` so that
+:class:`~repro.core.planstore.PlanStore` can key prepared plans by it, and
+:func:`prepared_cache_key` folds in the preparation flags to form the full
+cache key shared by the plan store and the result cache.
 
 The fingerprint is the SHA-256 digest of an unambiguous serialization of the
 query tree.  Serialization uses ``repr`` of nested tuples whose leaves are
@@ -93,3 +96,28 @@ def query_fingerprint(query: Query) -> str:
     """The canonical fingerprint of ``query`` as a hex SHA-256 digest."""
     serialized = repr(canonical_form(query)).encode("utf-8")
     return hashlib.sha256(serialized).hexdigest()
+
+
+def prepared_cache_key(
+    query: Query,
+    *,
+    minimize: bool = True,
+    allow_rewrite: bool = True,
+    optimize: bool = True,
+) -> tuple[str, bool, bool, bool]:
+    """The cache key of one query under one preparation configuration.
+
+    The flags are part of the key because they change what C2–C4 produce
+    (minimized vs full schema, rewritten vs original target, peephole-
+    optimized vs canonical executable).  The key is engine-independent: any
+    two engines with the same access schema and flags prepare identical
+    entries for it, which is what makes the plan store shareable — and
+    engines with *different* flags sharing one store address disjoint
+    entries instead of silently serving each other's.
+    """
+    return (
+        query_fingerprint(query),
+        bool(minimize),
+        bool(allow_rewrite),
+        bool(optimize),
+    )

@@ -235,7 +235,15 @@ class DirectedHypergraph:
         return dist, best_edge
 
     def shortest_hyperpath(self, source: Iterable[Node], target: Node) -> Hyperpath | None:
-        """The cheapest hyperpath from ``source`` to ``target`` under the SBT model."""
+        """A cheapest-found hyperpath from ``source`` to ``target``.
+
+        Minimum-weight B-hyperpaths are NP-hard in general; the SBT model is
+        a heuristic whose additive node costs can double-charge an edge that
+        derives several needed nodes at once.  The extracted SBT path is
+        therefore clamped against the plain forward-chaining path of
+        :meth:`find_hyperpath`: the lighter of the two is returned, so the
+        result is never worse than the unweighted baseline.
+        """
         source_set = frozenset(source)
         dist, best_edge = self.shortest_hyperpaths(source_set)
         if target not in dist:
@@ -255,7 +263,11 @@ class DirectedHypergraph:
             ordered.append(edge)
 
         emit(target)
-        return Hyperpath(source_set, target, tuple(ordered))
+        candidate = Hyperpath(source_set, target, tuple(ordered))
+        baseline = self.find_hyperpath(source_set, target)
+        if baseline is not None and baseline.weight < candidate.weight:
+            return baseline
+        return candidate
 
     # -- derived simple graph ----------------------------------------------------
     def to_simple_graph(self) -> dict[Node, set[Node]]:

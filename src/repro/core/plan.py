@@ -282,6 +282,21 @@ class BoundedPlan:
                 seen.append(constraint)
         return tuple(seen)
 
+    def dependency_relations(self) -> tuple[str, ...]:
+        """The base relations whose data this plan reads, sorted and deduplicated.
+
+        A bounded plan touches data only through its fetch steps, and each
+        fetch reads the index of one constraint; actualized constraints are
+        mapped back to their base relation via :attr:`occurrences`.  This is
+        the dependency set used for constraint-granular cache invalidation:
+        a write to any other relation cannot change this plan's result.
+        """
+        bases = {
+            self.occurrences.get(constraint.relation, constraint.relation)
+            for constraint in self.constraints_used()
+        }
+        return tuple(sorted(bases))
+
     # -- validation ----------------------------------------------------------------
     def validate(self) -> None:
         """Check referential integrity and that every fetch uses a schema constraint."""

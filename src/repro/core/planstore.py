@@ -1,0 +1,260 @@
+"""Shared plan store and versioned result cache (the serving-core substrate).
+
+Two caches back the hot path of :class:`~repro.core.engine.BoundedEngine`:
+
+* :class:`PlanStore` — an LRU map from canonical query keys
+  (:func:`~repro.core.fingerprint.prepared_cache_key`) to prepared-query
+  entries.  Everything a prepared entry holds (coverage verdict, minimized
+  schema, bounded plan, optimized plan) depends only on the query syntax and
+  the access schema, so one store can be **shared across engine instances**
+  (or shards) that serve the same access schema, even over divergent data.
+  Each entry is tagged with the base relations its plan fetches from
+  (:meth:`~repro.core.plan.BoundedPlan.dependency_relations`), so writes
+  invalidate only the dependent entries instead of clearing the store.
+
+* :class:`ResultCache` — a per-engine LRU map from ``(query key, dependency
+  version snapshot)`` to materialized result rows.  Covered results are
+  bounded by the access schema (≤ ``access_bound()`` tuples), which makes
+  them cheap to keep; the snapshot of per-relation data versions
+  (:class:`~repro.storage.counters.VersionClock`) makes them precise to
+  invalidate: an entry is served only while none of its dependent relations
+  has been written since it was filled.
+
+Both caches keep hit/miss/eviction/invalidation counts for
+:meth:`~repro.core.engine.BoundedEngine.cache_stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+
+@dataclass
+class _StoreSlot:
+    """One plan-store entry plus the relations whose data its plan reads."""
+
+    entry: object
+    dependencies: frozenset[str]
+
+
+class PlanStore:
+    """An LRU store of prepared queries, shareable across engine instances.
+
+    A ``capacity`` of zero (or less) disables caching: every lookup misses
+    and nothing is stored.  ``invalidate()`` with no argument drops every
+    entry (the conservative legacy behaviour); ``invalidate(relations)``
+    drops only entries whose dependency set intersects ``relations`` and
+    returns the dropped entries so callers can release derived artifacts
+    (e.g. compiled kernels).
+
+    Entries must be data-independent: a store may only be shared by engines
+    configured with an **identical access schema**, since plans embed the
+    schema's constraints.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._slots: OrderedDict[Hashable, _StoreSlot] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: entries dropped by invalidation (targeted or clear-all)
+        self.invalidated = 0
+        #: invalidation sweeps performed (one per write or batch)
+        self.sweeps = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def get(self, key: Hashable) -> object | None:
+        slot = self._slots.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        self._slots.move_to_end(key)
+        self.hits += 1
+        return slot.entry
+
+    def put(
+        self, key: Hashable, entry: object, dependencies: Iterable[str] = ()
+    ) -> list[object]:
+        """Store ``entry``; returns the entries evicted to make room.
+
+        Callers holding artifacts derived from stored entries (compiled
+        kernels in the executor) should release them for every returned
+        entry, exactly as they do for :meth:`invalidate`'s drops.
+        """
+        if self.capacity <= 0:
+            return []
+        self._slots[key] = _StoreSlot(entry=entry, dependencies=frozenset(dependencies))
+        self._slots.move_to_end(key)
+        evicted: list[object] = []
+        while len(self._slots) > self.capacity:
+            _, slot = self._slots.popitem(last=False)
+            evicted.append(slot.entry)
+            self.evictions += 1
+        return evicted
+
+    def invalidate(self, relations: Iterable[str] | None = None) -> list[object]:
+        """Drop dependent entries after a write; returns the dropped entries.
+
+        With ``relations=None`` every entry is dropped (clear-all).  Otherwise
+        only entries whose dependency set intersects ``relations`` are
+        dropped — entries prepared for queries that never fetch from the
+        written relations stay valid, which is sound because prepared plans
+        depend on data *only* through the constraint indexes of the relations
+        they fetch from.
+        """
+        self.sweeps += 1
+        if relations is None:
+            dropped = [slot.entry for slot in self._slots.values()]
+            self._slots.clear()
+        else:
+            touched = frozenset(relations)
+            stale = [
+                key for key, slot in self._slots.items() if slot.dependencies & touched
+            ]
+            dropped = []
+            for key in stale:
+                dropped.append(self._slots.pop(key).entry)
+        self.invalidated += len(dropped)
+        return dropped
+
+    def stats(self) -> dict[str, int | float]:
+        requests = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._slots),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / requests) if requests else 0.0,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "sweeps": self.sweeps,
+        }
+
+
+@dataclass
+class CachedResult:
+    """A materialized covered result plus the version snapshot it is valid for."""
+
+    rows: frozenset[tuple]
+    columns: tuple[str, ...]
+    dependencies: tuple[str, ...]
+    snapshot: tuple[int, ...]
+
+
+class ResultCache:
+    """An LRU cache of bounded results, validated by data-version snapshots.
+
+    Keys are the same canonical query keys as the plan store; each entry
+    remembers the ``(relation, version)`` snapshot of its plan's dependent
+    relations at fill time.  A lookup hits only when the caller's current
+    snapshot matches — entries outlived by a write to a dependent relation
+    are dropped on probe (counted as ``stale``) or by an explicit targeted
+    ``invalidate`` sweep.
+
+    The cache is **per engine** (per database): results are data-dependent,
+    unlike the shareable :class:`PlanStore`.
+
+    ``max_rows`` is the admission threshold: results with more rows are not
+    cached.  Fetched inputs are bounded by ``access_bound()``, but a plan's
+    *output* can exceed that (e.g. a product of two fetched sets), so the
+    LRU alone would bound entry count, not memory.
+    """
+
+    def __init__(self, capacity: int = 256, max_rows: int = 100_000):
+        self.capacity = capacity
+        self.max_rows = max_rows
+        #: results refused admission for exceeding ``max_rows``
+        self.oversized = 0
+        self._entries: OrderedDict[Hashable, CachedResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.evictions = 0
+        self.invalidated = 0
+        self.sweeps = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, snapshot: tuple[int, ...]) -> CachedResult | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.snapshot != snapshot:
+            # The data moved on under this entry; drop it eagerly.
+            del self._entries[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: Hashable,
+        rows: frozenset[tuple],
+        columns: tuple[str, ...],
+        dependencies: Iterable[str],
+        snapshot: tuple[int, ...],
+    ) -> None:
+        if self.capacity <= 0:
+            return
+        if len(rows) > self.max_rows:
+            self.oversized += 1
+            return
+        self._entries[key] = CachedResult(
+            rows=rows,
+            columns=columns,
+            dependencies=tuple(dependencies),
+            snapshot=snapshot,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, relations: Iterable[str] | None = None) -> int:
+        """Purge entries depending on ``relations`` (all entries when ``None``).
+
+        Version snapshots already guarantee stale entries are never *served*;
+        the sweep exists to bound memory and to surface invalidation counts
+        in the stats.  Returns the number of entries dropped.
+        """
+        self.sweeps += 1
+        if relations is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            touched = frozenset(relations)
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if touched.intersection(entry.dependencies)
+            ]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.invalidated += dropped
+        return dropped
+
+    def stats(self) -> dict[str, int | float]:
+        requests = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / requests) if requests else 0.0,
+            "stale": self.stale,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "sweeps": self.sweeps,
+            "oversized": self.oversized,
+        }

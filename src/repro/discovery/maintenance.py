@@ -14,6 +14,14 @@ Two flavours are provided:
 * :func:`maintain_constraints` — additionally *adjust* the bounds of
   policy-style constraints that the updates outgrow (e.g. Facebook raising
   the friend limit), returning a new access schema.
+
+Both report the relations a batch actually modified and settle the
+database's version clock **once per batch** — so downstream caches pay one
+version bump and one targeted invalidation sweep per batch instead of one
+per row.  When the database is served by a
+:class:`~repro.core.engine.BoundedEngine`, route batches through
+:meth:`~repro.core.engine.BoundedEngine.apply_updates` so the engine can
+also sweep its plan store and result cache granularly.
 """
 
 from __future__ import annotations
@@ -55,6 +63,10 @@ class MaintenanceReport:
     adjusted: dict[AccessConstraint, AccessConstraint] = field(default_factory=dict)
     #: work performed, measured in index-entry touches (for the Prop. 12 benchmark)
     work_units: int = 0
+    #: relations whose data the batch actually changed (skipped updates excluded)
+    touched_relations: set[str] = field(default_factory=set)
+    #: the database's global data version after the batch (None if nothing changed)
+    version: int | None = None
 
 
 def apply_updates(
@@ -62,6 +74,8 @@ def apply_updates(
     indexes: IndexSet,
     access_schema: AccessSchema,
     updates: Iterable[Update],
+    *,
+    bump_clock: bool = True,
 ) -> MaintenanceReport:
     """Apply ``ΔD`` to the database and incrementally maintain the indexes.
 
@@ -69,6 +83,11 @@ def apply_updates(
     relation, so the total work is ``O(N_A · |ΔD|)`` — independent of ``|D|``.
     Insertions that would break a constraint's bound are still applied (the
     data now simply violates that constraint) but recorded in the report.
+
+    The whole batch costs **one** version-clock bump stamping every touched
+    relation (``bump_clock=False`` leaves settling the clock to the caller —
+    used by :meth:`repro.core.engine.BoundedEngine.apply_updates`, which
+    combines the bump with one targeted cache sweep).
     """
     report = MaintenanceReport()
     for update in updates:
@@ -84,6 +103,7 @@ def apply_updates(
                 continue
             indexes.apply_insert(update.relation, update.row)
             report.applied += 1
+            report.touched_relations.add(update.relation)
             for constraint in constraints:
                 index = indexes.get(constraint)
                 if index is None:
@@ -102,6 +122,9 @@ def apply_updates(
                 continue
             indexes.apply_delete(update.relation, update.row, relation)
             report.applied += 1
+            report.touched_relations.add(update.relation)
+    if bump_clock and report.touched_relations:
+        report.version = database.clock.bump(sorted(report.touched_relations))
     return report
 
 

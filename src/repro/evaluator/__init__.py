@@ -11,9 +11,11 @@ three evaluation-layer stages:
    fuse into hash joins, stacked projections/selections collapse, common
    subplans are deduplicated and dead steps dropped;
 2. **cache** — the optimized plan is stored in the engine's
-   :class:`~repro.core.engine.PlanCache` under the query's canonical
+   :class:`~repro.core.planstore.PlanStore` under the query's canonical
    fingerprint, so repeated queries skip coverage checking, minimization,
-   planning and optimization entirely;
+   planning and optimization entirely; repeated covered queries on
+   unchanged data skip execution too, served from the engine's versioned
+   :class:`~repro.core.planstore.ResultCache`;
 3. **executor** — :class:`~repro.evaluator.executor.PlanExecutor` lowers the
    plan once into per-step kernels (positions, predicates and index handles
    resolved up front) and then pipelines mutable-set intermediates through

@@ -153,6 +153,17 @@ class PlanExecutor:
             self._compiled.popitem(last=False)
         return compiled
 
+    def discard(self, plan: BoundedPlan) -> None:
+        """Release the compiled kernels of ``plan``, if memoized.
+
+        Called by the engine when a plan-store entry is invalidated, so the
+        executor does not pin kernels (and their closed-over index lookups)
+        for plans that will never run again.
+        """
+        cached = self._compiled.get(id(plan))
+        if cached is not None and cached.plan is plan:
+            del self._compiled[id(plan)]
+
     def _compile(self, plan: BoundedPlan) -> CompiledPlan:
         kernels: list[Kernel] = []
         columns: list[tuple[str, ...]] = []

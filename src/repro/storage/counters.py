@@ -1,14 +1,21 @@
-"""Data-access accounting.
+"""Data-access accounting and data-version counters.
 
 The central claim of bounded evaluability is about *how much data is
 accessed*, so every component that touches tuples (index lookups, relation
 scans, fetch execution) reports to an :class:`AccessCounter`.  The counters
 feed the ``P(D_Q) = |D_Q| / |D|`` ratios reported by the experiments.
+
+:class:`VersionClock` is the complementary *write-side* counter: a
+monotonically increasing global data version plus per-key (relation /
+constraint) counters, bumped by the maintenance path.  It is the primitive
+behind constraint-granular cache invalidation and versioned result serving
+in :mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Hashable, Iterable
 
 
 @dataclass
@@ -59,3 +66,42 @@ class AccessCounter:
         if database_size <= 0:
             return 0.0
         return self.total / database_size
+
+
+@dataclass
+class VersionClock:
+    """Monotonic data-version counters: one global tick plus per-key counters.
+
+    ``bump(keys)`` advances the global version by one and stamps every given
+    key with the new version, so a batch of updates costs a single tick no
+    matter how many keys it touches.  ``version_of(key)`` returns the global
+    version at which ``key`` was last written (0 for never-written keys).
+
+    Keys are arbitrary hashables; the storage layer keys by relation name
+    (every access constraint on a relation shares its relation's counter,
+    which is exactly the granularity at which a write can change fetch
+    results), while callers may also stamp individual constraints.
+    """
+
+    global_version: int = 0
+    _per_key: dict[Hashable, int] = field(default_factory=dict)
+
+    def bump(self, keys: Iterable[Hashable] = ()) -> int:
+        """Advance the global version once and stamp ``keys`` with it."""
+        self.global_version += 1
+        for key in keys:
+            self._per_key[key] = self.global_version
+        return self.global_version
+
+    def version_of(self, key: Hashable) -> int:
+        """The global version at which ``key`` was last bumped (0 if never)."""
+        return self._per_key.get(key, 0)
+
+    def snapshot(self, keys: Iterable[Hashable]) -> tuple[int, ...]:
+        """The versions of ``keys``, in order — a cache-validity token.
+
+        Two snapshots of the same keys are equal iff none of the keys was
+        written in between, which is what makes ``(fingerprint, snapshot)``
+        a sound result-cache key.
+        """
+        return tuple(self._per_key.get(key, 0) for key in keys)

@@ -9,14 +9,31 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from ..core.access import AccessConstraint, AccessSchema
 from ..core.errors import StorageError
 from ..core.schema import DatabaseSchema, RelationSchema
+from .counters import VersionClock
 from .relation import RelationInstance, Row
 
 
 class Database:
-    """An instance ``D`` of a database schema ``R``."""
+    """An instance ``D`` of a database schema ``R``.
+
+    The database carries a :class:`~repro.storage.counters.VersionClock`:
+    every mutation that actually changes data advances a global version and
+    stamps the touched relation, so caches (and the serving engine's result
+    cache in particular) can validate entries against
+    ``(relation versions at fill time)`` instead of being cleared wholesale.
+
+    **Write-path contract**: mutations must go through this class's
+    ``insert``/``delete``/``insert_many``, the engine's maintenance methods,
+    or :func:`repro.discovery.maintenance.apply_updates` — each of which
+    settles the clock.  Writing directly to a
+    :class:`~repro.storage.relation.RelationInstance` bypasses both the
+    constraint indexes *and* the clock, leaving stale indexes (as before)
+    and, now, stale cached results with no invalidation signal.
+    """
 
     def __init__(self, schema: DatabaseSchema):
         self.schema = schema
+        self.clock = VersionClock()
         self._relations: dict[str, RelationInstance] = {
             relation.name: RelationInstance(relation) for relation in schema
         }
@@ -52,15 +69,43 @@ class Database:
     def __len__(self) -> int:
         return self.size
 
+    # -- versioning ----------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The global data version: bumped once per data-changing write (or batch)."""
+        return self.clock.global_version
+
+    def relation_version(self, relation: str) -> int:
+        """The global version at which ``relation`` last changed (0 if never)."""
+        return self.clock.version_of(relation)
+
+    def constraint_version(self, constraint: AccessConstraint) -> int:
+        """The data version of ``constraint``: when its fetch results last changed.
+
+        A write to a relation can change the index contents of *every*
+        constraint on that relation (and of no other), so per-constraint
+        versions share the counter of the constraint's relation.
+        """
+        return self.clock.version_of(constraint.relation)
+
     # -- mutation ----------------------------------------------------------------
     def insert(self, relation: str, row: Sequence | Mapping[str, object]) -> bool:
-        return self.relation(relation).insert(row)
+        inserted = self.relation(relation).insert(row)
+        if inserted:
+            self.clock.bump((relation,))
+        return inserted
 
     def insert_many(self, relation: str, rows: Iterable[Sequence | Mapping[str, object]]) -> int:
-        return self.relation(relation).insert_many(rows)
+        added = self.relation(relation).insert_many(rows)
+        if added:
+            self.clock.bump((relation,))
+        return added
 
     def delete(self, relation: str, row: Sequence | Mapping[str, object]) -> bool:
-        return self.relation(relation).delete(row)
+        deleted = self.relation(relation).delete(row)
+        if deleted:
+            self.clock.bump((relation,))
+        return deleted
 
     # -- constraints ----------------------------------------------------------------
     def satisfies(self, constraint: AccessConstraint) -> bool:

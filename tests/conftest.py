@@ -81,6 +81,32 @@ def tiny_access(tiny_schema) -> AccessSchema:
 
 
 @pytest.fixture
+def hot_cold_setup():
+    """A two-relation database plus a covered query that reads only ``hot``.
+
+    Used by the cache-invalidation tests: writes to ``cold`` are unrelated
+    to the query's dependency set, writes to ``hot`` are dependent.
+    Returns ``(database, access_schema, hot_query)``.
+    """
+    from repro.core.query import Relation, eq
+
+    schema = DatabaseSchema.from_dict({"hot": ["k", "v"], "cold": ["k", "v"]})
+    access = AccessSchema(
+        [
+            AccessConstraint.of("hot", "k", "v", 5, name="hot_kv"),
+            AccessConstraint.of("cold", "k", "v", 5, name="cold_kv"),
+        ],
+        schema=schema,
+    )
+    database = Database(schema)
+    database.insert_many("hot", [("a", 1), ("a", 2), ("b", 3)])
+    database.insert_many("cold", [("x", 9)])
+    hot = Relation.from_schema(schema, "hot")
+    hot_query = hot.select(eq(hot["k"], "a")).project([hot["v"]])
+    return database, access, hot_query
+
+
+@pytest.fixture
 def tiny_database(tiny_schema) -> Database:
     database = Database(tiny_schema)
     database.insert_many(

@@ -1,8 +1,9 @@
-"""Plan-cache correctness: hits, invalidation, and cache/optimizer equivalence."""
+"""Plan-store correctness: hits, granular invalidation, and cache/optimizer equivalence."""
 
 import pytest
 
 from repro.core.engine import BoundedEngine, PlanCache, PreparedQuery
+from repro.core.planstore import PlanStore
 from repro.evaluator.algebra import evaluate
 from repro.workloads import WORKLOADS, facebook
 from repro.bench.experiments import select_covered_queries
@@ -18,37 +19,65 @@ def uncached_engine(fb_database, fb_access):
     return BoundedEngine(fb_database, fb_access, plan_cache_size=0)
 
 
-class TestPlanCacheUnit:
+class TestPlanStoreUnit:
+    def test_plan_cache_is_plan_store_alias(self):
+        assert PlanCache is PlanStore
+
     def test_lru_eviction(self):
-        cache = PlanCache(capacity=2)
+        store = PlanStore(capacity=2)
         a, b, c = (PreparedQuery(coverage=None) for _ in range(3))  # type: ignore[arg-type]
-        cache.put("a", a)
-        cache.put("b", b)
-        assert cache.get("a") is a  # refresh a; b is now least recent
-        cache.put("c", c)
-        assert cache.get("b") is None
-        assert cache.get("a") is a
-        assert cache.get("c") is c
-        assert cache.stats()["evictions"] == 1
+        assert store.put("a", a) == []
+        store.put("b", b)
+        assert store.get("a") is a  # refresh a; b is now least recent
+        assert store.put("c", c) == [b]  # evictions are handed back to the caller
+        assert store.get("b") is None
+        assert store.get("a") is a
+        assert store.get("c") is c
+        assert store.stats()["evictions"] == 1
 
     def test_zero_capacity_disables(self):
-        cache = PlanCache(capacity=0)
-        cache.put("a", PreparedQuery(coverage=None))  # type: ignore[arg-type]
-        assert len(cache) == 0
-        assert cache.get("a") is None
+        store = PlanStore(capacity=0)
+        store.put("a", PreparedQuery(coverage=None))  # type: ignore[arg-type]
+        assert len(store) == 0
+        assert store.get("a") is None
 
     def test_stats_accumulate(self):
-        cache = PlanCache(capacity=4)
+        store = PlanStore(capacity=4)
         entry = PreparedQuery(coverage=None)  # type: ignore[arg-type]
-        assert cache.get("k") is None
-        cache.put("k", entry)
-        assert cache.get("k") is entry
-        cache.invalidate()
-        stats = cache.stats()
+        assert store.get("k") is None
+        store.put("k", entry)
+        assert store.get("k") is entry
+        store.invalidate()
+        stats = store.stats()
         assert stats["hits"] == 1
         assert stats["misses"] == 1
-        assert stats["invalidations"] == 1
+        assert stats["sweeps"] == 1
+        assert stats["invalidated"] == 1
         assert stats["entries"] == 0
+
+    def test_targeted_invalidation_drops_only_dependents(self):
+        store = PlanStore(capacity=8)
+        on_r = PreparedQuery(coverage=None)  # type: ignore[arg-type]
+        on_s = PreparedQuery(coverage=None)  # type: ignore[arg-type]
+        no_deps = PreparedQuery(coverage=None)  # type: ignore[arg-type]
+        store.put("r", on_r, dependencies=("r",))
+        store.put("s", on_s, dependencies=("s", "t"))
+        store.put("n", no_deps)
+        dropped = store.invalidate(("r",))
+        assert dropped == [on_r]
+        assert store.get("s") is on_s
+        assert store.get("n") is no_deps
+        assert store.get("r") is None
+        assert store.stats()["invalidated"] == 1
+
+    def test_clear_all_returns_every_entry(self):
+        store = PlanStore(capacity=8)
+        entries = [PreparedQuery(coverage=None) for _ in range(3)]  # type: ignore[arg-type]
+        for index, entry in enumerate(entries):
+            store.put(index, entry, dependencies=(f"rel{index}",))
+        dropped = store.invalidate()
+        assert sorted(map(id, dropped)) == sorted(map(id, entries))
+        assert len(store) == 0
 
 
 class TestCachedExecution:
@@ -66,7 +95,7 @@ class TestCachedExecution:
         assert not first.cached
         assert second.cached
         assert second.plan is first.plan  # the very same prepared plan object
-        stats = cached_engine.cache_stats()
+        stats = cached_engine.cache_stats()["plan_store"]
         assert stats["hits"] == 1
         assert stats["misses"] == 1
 
@@ -78,7 +107,7 @@ class TestCachedExecution:
         assert not r_p1.cached  # no false sharing between distinct constants
         assert r_p0.rows == evaluate(q_p0, fb_database).rows
         assert r_p1.rows == evaluate(q_p1, fb_database).rows
-        assert cached_engine.cache_stats()["entries"] == 2
+        assert cached_engine.cache_stats()["plan_store"]["entries"] == 2
 
     def test_minimize_flag_keys_separately(self, cached_engine, fb_q1):
         cached_engine.execute(fb_q1, minimize=True)
@@ -93,6 +122,7 @@ class TestCachedExecution:
         assert first.strategy == "conventional"
         second = cached_engine.execute(fb_q2)
         assert second.cached
+        assert not second.result_cached  # fallback results are never cached
         assert second.strategy == "conventional"
         assert second.rows == evaluate(fb_q2, fb_database).rows
 
@@ -116,8 +146,10 @@ class TestInvalidation:
         cached_engine.apply_insert("friend", ("p0", "p_new"))
         cached_engine.apply_insert("dine", ("p_new", "c_new", "may", 2015))
         after = cached_engine.execute(q1)
-        assert not after.cached  # cache was cleared by the updates
-        assert cached_engine.cache_stats()["invalidations"] >= 3
+        assert not after.cached  # the entry was dropped by the first dependent write
+        stats = cached_engine.cache_stats()["plan_store"]
+        assert stats["sweeps"] == 3  # one sweep per write...
+        assert stats["invalidated"] == 1  # ...but only one entry ever dropped
         assert ("c_new",) in after.rows
         assert after.rows == evaluate(q1, fb_database).rows
         assert before.rows <= after.rows
@@ -141,7 +173,31 @@ class TestInvalidation:
         cached_engine.execute(q1)
         existing = next(iter(fb_database.relation("cafe").rows))
         cached_engine.apply_insert("cafe", existing)  # duplicate: no data change
-        assert cached_engine.execute(q1).cached
+        repeat = cached_engine.execute(q1)
+        assert repeat.cached
+        assert repeat.result_cached  # even the result stayed valid
+
+    def test_unrelated_write_keeps_entries_with_granular_invalidation(
+        self, hot_cold_setup
+    ):
+        database, access, hot_query = hot_cold_setup
+        engine = BoundedEngine(database, access)
+        engine.execute(hot_query)
+        prepared, _ = engine.prepare(hot_query)
+        assert prepared.dependencies == ("hot",)
+        engine.apply_insert("cold", ("y", 1))  # a relation the plan never fetches
+        repeat = engine.execute(hot_query)
+        assert repeat.cached  # plan survived the unrelated write
+        assert repeat.result_cached  # and so did the materialized result
+
+    def test_clear_all_mode_restores_legacy_behaviour(self, hot_cold_setup):
+        database, access, hot_query = hot_cold_setup
+        engine = BoundedEngine(database, access, granular_invalidation=False)
+        engine.execute(hot_query)
+        engine.apply_insert("cold", ("y", 1))
+        repeat = engine.execute(hot_query)
+        assert not repeat.cached  # clear-all drops even unrelated entries
+        assert not repeat.result_cached
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
@@ -157,6 +213,7 @@ def test_cache_and_optimizer_row_identical_on_workloads(name):
         workload.access_schema,
         check_constraints=False,
         plan_cache_size=0,
+        result_cache_size=0,
         optimize=False,
     )
     for query in queries:

@@ -95,6 +95,114 @@ class TestApplyUpdates:
         assert execute_plan(plan, fb_database, indexes).rows == evaluate(q1, fb_database).rows
 
 
+class TestBatchVersioning:
+    def test_batch_costs_one_version_bump(self, db, indexes, fb_access):
+        base = db.version
+        report = apply_updates(
+            db,
+            indexes,
+            fb_access,
+            [
+                Update.insert("friend", ("p0", "f3")),
+                Update.insert("friend", ("p0", "f4")),
+                Update.insert("cafe", ("c2", "sf")),
+            ],
+        )
+        assert report.applied == 3
+        assert report.touched_relations == {"friend", "cafe"}
+        assert db.version == base + 1  # one tick for the whole batch
+        assert report.version == db.version
+        assert db.relation_version("friend") == db.version
+        assert db.relation_version("cafe") == db.version
+        assert db.relation_version("dine") < db.version
+
+    def test_skipped_updates_do_not_touch(self, db, indexes, fb_access):
+        base = db.version
+        report = apply_updates(
+            db,
+            indexes,
+            fb_access,
+            [
+                Update.insert("friend", ("p0", "f1")),  # duplicate
+                Update.delete("dine", ("zz", "zz", "zz", 0)),  # missing
+            ],
+        )
+        assert report.applied == 0
+        assert report.touched_relations == set()
+        assert report.version is None
+        assert db.version == base
+
+    def test_bump_clock_false_leaves_clock_alone(self, db, indexes, fb_access):
+        base = db.version
+        report = apply_updates(
+            db,
+            indexes,
+            fb_access,
+            [Update.insert("friend", ("p0", "f5"))],
+            bump_clock=False,
+        )
+        assert report.applied == 1
+        assert report.touched_relations == {"friend"}
+        assert report.version is None
+        assert db.version == base
+
+
+class TestEngineBatchUpdates:
+    def test_engine_batch_sweeps_caches_once_and_stays_correct(
+        self, fb_database, fb_access
+    ):
+        from repro.core.engine import BoundedEngine
+        from repro.evaluator.algebra import evaluate
+
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        assert engine.execute(q1).result_cached
+        base_version = fb_database.version
+        report = engine.apply_updates(
+            [
+                Update.insert("cafe", ("c_b", "nyc")),
+                Update.insert("friend", ("p0", "p_b")),
+                Update.insert("dine", ("p_b", "c_b", "may", 2015)),
+            ]
+        )
+        assert report.applied == 3
+        assert fb_database.version == base_version + 1  # one bump for the batch
+        assert report.version == fb_database.version
+        assert engine.cache_stats()["plan_store"]["sweeps"] == 1  # one sweep too
+        result = engine.execute(q1)
+        assert not result.cached
+        assert ("c_b",) in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_engine_batch_on_unrelated_relation_keeps_hot_entries(self, hot_cold_setup):
+        from repro.core.engine import BoundedEngine
+
+        database, access, hot_query = hot_cold_setup
+        engine = BoundedEngine(database, access)
+        engine.execute(hot_query)
+        report = engine.apply_updates(
+            [Update.insert("cold", ("y", 1)), Update.delete("cold", ("x", 9))]
+        )
+        assert report.touched_relations == {"cold"}
+        repeat = engine.execute(hot_query)
+        assert repeat.cached
+        assert repeat.result_cached
+        assert engine.cache_stats()["plan_store"]["invalidated"] == 0
+
+    def test_engine_batch_of_noops_sweeps_nothing(self, fb_database, fb_access):
+        from repro.core.engine import BoundedEngine
+
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        existing = next(iter(fb_database.relation("cafe").rows))
+        report = engine.apply_updates([Update.insert("cafe", existing)])
+        assert report.applied == 0
+        assert engine.cache_stats()["plan_store"]["sweeps"] == 0
+        assert engine.execute(q1).result_cached
+
+
 class TestMaintainConstraints:
     def test_no_violation_returns_same_schema(self, db, indexes, fb_access):
         schema, report = maintain_constraints(
