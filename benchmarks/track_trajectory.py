@@ -47,6 +47,33 @@ def _git_commit() -> str | None:
     return head.stdout.strip() or None if head.returncode == 0 else None
 
 
+def serving_summary(soak_report: dict) -> dict:
+    """The compact serving-tier summary merged into a trajectory entry.
+
+    Pulls the operational health numbers out of a soak report
+    (``repro.cli soak --output``): queue pressure, shed counts by reason,
+    covered-path latency quantiles, breaker activity, and whether every
+    robustness check held.
+    """
+    serving = soak_report.get("server", {}).get("serving", {})
+    breaker = soak_report.get("server", {}).get("breaker", {})
+    latency = serving.get("latency", {})
+    covered = {
+        key: latency[key]
+        for key in ("bounded", "result_cache")
+        if key in latency
+    }
+    return {
+        "passed": soak_report.get("passed"),
+        "queue_depth_peak": serving.get("queue_depth_peak"),
+        "sheds": serving.get("sheds", {}),
+        "covered_p99_ms": soak_report.get("covered_p99_ms"),
+        "latency": covered,
+        "breaker_times_opened": breaker.get("times_opened"),
+        "write_failures": serving.get("write_failures"),
+    }
+
+
 def entry_from_report(report: dict) -> dict:
     """The compact trajectory entry for one bench report."""
     warm_qps = {
@@ -96,10 +123,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="max tolerated warm-qps regression (0.30 = 30%%)")
     parser.add_argument("--no-gate", action="store_true",
                         help="record the entry but never fail")
+    parser.add_argument("--serving", type=Path,
+                        help="soak report (repro.cli soak --output) whose serving "
+                             "metrics join this entry (queue peak, sheds, p50/p99)")
     args = parser.parse_args(argv)
 
     report = json.loads(args.bench.read_text())
     entry = entry_from_report(report)
+    if args.serving:
+        entry["serving"] = serving_summary(json.loads(args.serving.read_text()))
 
     if args.trajectory.exists():
         trajectory = json.loads(args.trajectory.read_text())

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run      --workload MCBM  --sql "SELECT ..." [--scale 300]
     python -m repro.cli discover --workload AIRCA --output constraints.json
     python -m repro.cli report   --workload TFACC --quick
+    python -m repro.cli soak     --workload AIRCA --requests 200 --seed 0
 
 Instead of a built-in workload, ``--schema schema.json --data DIR
 [--constraints constraints.json]`` loads a database from CSV files (one per
@@ -190,6 +191,47 @@ def command_report(args) -> int:
     return 0
 
 
+def command_soak(args) -> int:
+    from .serving.soak import SoakConfig, run_soak
+
+    if not args.workload or args.workload == "facebook":
+        raise SystemExit("soak requires --workload AIRCA|TFACC|MCBM")
+    config = SoakConfig(
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        requests=args.requests,
+        write_ratio=args.write_ratio,
+        faults=not args.no_faults,
+        verify=not args.no_verify,
+        queue_depth=args.queue_depth,
+    )
+    report = run_soak(config)
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2, default=repr) + "\n")
+        print(f"wrote soak report to {args.output}", file=sys.stderr)
+    outcome = report["outcome"]
+    serving = report["server"]["serving"]
+    print(
+        f"-- soak {args.workload} scale={args.scale} seed={args.seed}: "
+        f"{outcome['reads_served']} reads served "
+        f"({outcome['reads_verified']} verified vs reference), "
+        f"{outcome['writes_ok']} write batches ok, "
+        f"{outcome['writes_partial']} partial"
+    )
+    print(
+        f"-- sheds: overload={outcome['shed_overload']} "
+        f"deadline={outcome['shed_deadline']} breaker={outcome['rejected_breaker']} | "
+        f"queue peak {serving['queue_depth_peak']} | "
+        f"covered p99 {report['covered_p99_ms']:.2f}ms | "
+        f"breaker opened {report['server']['breaker']['times_opened']}x"
+    )
+    for check, ok in sorted(report["checks"].items()):
+        print(f"-- {'PASS' if ok else 'FAIL'} {check}")
+    print(f"-- soak {'PASSED' if report['passed'] else 'FAILED'}")
+    return 0 if report["passed"] else 1
+
+
 # ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,6 +275,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(report)
     report.add_argument("--quick", action="store_true")
     report.set_defaults(handler=command_report)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="run the seeded fault-injection serving soak (chaos test)",
+        description="Drive the hardened serving tier with randomized mixed "
+                    "read/write traffic under injected faults, cross-checking "
+                    "every served read against the uncached reference "
+                    "evaluator. Exits 0 only if every robustness check holds.",
+    )
+    _add_source_arguments(soak)
+    soak.add_argument("--requests", type=int, default=200,
+                      help="mixed-traffic requests before the overload/deadline phases")
+    soak.add_argument("--write-ratio", type=float, default=0.2,
+                      help="fraction of requests that are write batches (default 0.2)")
+    soak.add_argument("--no-faults", action="store_true",
+                      help="run the same traffic without injected faults")
+    soak.add_argument("--no-verify", action="store_true",
+                      help="skip the per-read reference cross-check (faster)")
+    soak.add_argument("--queue-depth", type=int, default=32,
+                      help="admission queue depth (the overload burst is 3x this)")
+    soak.add_argument("--output", type=Path, help="write the full JSON report here")
+    soak.set_defaults(handler=command_soak)
 
     return parser
 

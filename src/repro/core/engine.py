@@ -58,7 +58,7 @@ from ..storage.database import Database
 from ..storage.index import IndexSet
 from .access import AccessSchema
 from .coverage import CoverageResult, check_coverage
-from .errors import NotCoveredError
+from .errors import CircuitOpenError, MaintenanceError, NotCoveredError
 from .fingerprint import prepared_cache_key
 from .minimize import MinimizationResult, minimize_auto
 from .optimizer import optimize_plan
@@ -141,6 +141,16 @@ class BoundedEngine:
     result cache (0 disables result caching).  ``granular_invalidation``
     selects the constraint-granular write path; turning it off restores the
     clear-all behaviour of PR 1 (kept for benchmarking the difference).
+
+    ``fallback_breaker`` (optional, duck-typed: ``allow()`` /
+    ``record_success()`` / ``record_failure()``, e.g. a
+    :class:`~repro.serving.policy.CircuitBreaker`) guards the *unbounded*
+    conventional fallback: unlike bounded plans, whose cost is capped by
+    ``access_bound()``, a fallback execution can touch the whole database —
+    so under load a stampede of uncovered queries could starve the covered
+    hot path.  When the breaker refuses, :meth:`execute` raises
+    :class:`~repro.core.errors.CircuitOpenError` instead of evaluating; every
+    fallback outcome is reported back to the breaker.
     """
 
     def __init__(
@@ -155,6 +165,7 @@ class BoundedEngine:
         result_cache_size: int = 256,
         optimize: bool = True,
         granular_invalidation: bool = True,
+        fallback_breaker: object | None = None,
     ):
         self.database = database
         self.access_schema = access_schema
@@ -172,6 +183,11 @@ class BoundedEngine:
         self.result_cache = ResultCache(result_cache_size)
         self.optimize = optimize
         self.granular_invalidation = granular_invalidation
+        self.fallback_breaker = fallback_breaker
+        #: the conventional-evaluation seam: the serving tier's fault
+        #: injector (and tests) wrap this attribute rather than the module
+        #: function, so faults hit only this engine instance.
+        self._fallback_evaluator = evaluate_conventional
 
     # -- C2: coverage -----------------------------------------------------------
     def check(self, query: Query) -> CoverageResult:
@@ -334,7 +350,23 @@ class BoundedEngine:
         if not fallback:
             raise NotCoveredError(prepared.coverage.explain())
 
-        baseline = evaluate_conventional(query, self.database, self.access_schema, self.indexes)
+        breaker = self.fallback_breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                "conventional fallback refused: circuit breaker is open "
+                "(recent fallback failures); retry after the cooldown or "
+                "rewrite the query into a covered form"
+            )
+        try:
+            baseline = self._fallback_evaluator(
+                query, self.database, self.access_schema, self.indexes
+            )
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         return EngineResult(
             rows=baseline.rows,
             columns=baseline.result.columns,
@@ -372,17 +404,27 @@ class BoundedEngine:
                 self._executor.discard(executable)
 
     def apply_insert(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
-        """Insert a tuple and incrementally maintain the indexes (Proposition 12)."""
+        """Insert a tuple and incrementally maintain the indexes (Proposition 12).
+
+        The row is validated (arity, unknown attributes) *before* anything is
+        mutated: a malformed row raises a typed
+        :class:`~repro.core.errors.ReproError` while storage, the constraint
+        indexes, and the version clock are all still untouched — so a bad row
+        can never leave the relation and its ``IndexSet`` diverged.
+        """
         instance = self.database.relation(relation)
-        prepared = instance._prepare(row)
+        prepared = instance.prepare(row)
         if instance.insert(prepared):
             self.indexes.apply_insert(relation, prepared)
             self._after_write((relation,))
 
     def apply_delete(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
-        """Delete a tuple and incrementally maintain the indexes (Proposition 12)."""
+        """Delete a tuple and incrementally maintain the indexes (Proposition 12).
+
+        Validates the row before mutating, exactly as :meth:`apply_insert`.
+        """
         instance = self.database.relation(relation)
-        prepared = instance._prepare(row)
+        prepared = instance.prepare(row)
         if instance.delete(prepared):
             self.indexes.apply_delete(relation, prepared, instance)
             self._after_write((relation,))
@@ -396,12 +438,26 @@ class BoundedEngine:
         whole batch: a single version tick stamping every touched relation
         and a single targeted invalidation sweep — instead of the per-row
         clear-alls a loop over :meth:`apply_insert` would cost.
+
+        If the batch aborts part-way (a
+        :class:`~repro.core.errors.MaintenanceError` carrying the partial
+        report), the clock bump and cache sweeps are **still** performed over
+        the relations the partial batch did mutate before the error
+        propagates — otherwise the result cache would keep serving rows from
+        before the aborted batch (the stale-serve bug this guards against).
         """
         from ..discovery.maintenance import apply_updates as _apply_updates
 
-        report = _apply_updates(
-            self.database, self.indexes, self.access_schema, updates, bump_clock=False
-        )
+        try:
+            report = _apply_updates(
+                self.database, self.indexes, self.access_schema, updates, bump_clock=False
+            )
+        except MaintenanceError as error:
+            partial = error.report
+            if partial is not None and partial.touched_relations:
+                self._after_write(sorted(partial.touched_relations))
+                partial.version = self.database.version
+            raise
         if report.touched_relations:
             self._after_write(sorted(report.touched_relations))
             report.version = self.database.version

@@ -87,3 +87,67 @@ class ConstraintViolation(ReproError):
 
 class DiscoveryError(ReproError):
     """Access-constraint discovery was configured or used incorrectly."""
+
+
+class MaintenanceError(ReproError):
+    """A batch of updates failed part-way through being applied.
+
+    The rows applied before the failure are *kept* (storage and indexes stay
+    mutually consistent — each row is validated and indexed atomically), but
+    the rest of the batch was not attempted.  ``report`` is the partial
+    :class:`~repro.discovery.maintenance.MaintenanceReport` up to the failing
+    update: its ``touched_relations`` names every relation the partial batch
+    modified, which callers (and :meth:`~repro.core.engine.BoundedEngine.
+    apply_updates` in particular) must settle the version clock and cache
+    sweeps over — otherwise result caches would keep serving rows from before
+    the partial batch.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class ServingError(ReproError):
+    """Base class for the serving tier's request-level failures.
+
+    These are *per-request* verdicts, not library bugs: the query itself may
+    be fine, but the serving tier declined or failed to answer it right now.
+    Callers distinguish retryable conditions (:class:`TransientFault`) from
+    terminal ones (:class:`OverloadedError`, :class:`DeadlineExceededError`).
+    """
+
+
+class OverloadedError(ServingError):
+    """The request was shed by admission control.
+
+    Raised when the bounded request queue is full, or when the query's
+    ``access_bound()`` cost estimate exceeds the server's per-request budget.
+    Shedding at admission keeps queueing bounded: the alternative — accepting
+    every request — turns overload into unbounded latency for everyone.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """The request's deadline expired before (or while) it was served."""
+
+
+class CircuitOpenError(OverloadedError):
+    """A circuit breaker rejected the call without attempting it.
+
+    Subclasses :class:`OverloadedError` because the caller-visible meaning is
+    the same — the request was refused to protect the system, not because it
+    was invalid.  The serving tier wraps the *unbounded* conventional
+    fallback in a breaker so a stampede of uncovered queries cannot starve
+    the covered (bounded-cost) hot path.
+    """
+
+
+class TransientFault(ServingError):
+    """A retryable infrastructure fault (injected or real).
+
+    The operation may succeed if retried: the fault is in the environment
+    (slow storage, a flaky dependency, an injected test fault), not in the
+    query.  :class:`~repro.serving.policy.RetryPolicy` retries these within
+    its budget; anything else propagates immediately.
+    """

@@ -60,6 +60,8 @@ class PlanStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: entries displaced by a put() overwriting their key
+        self.replaced = 0
         #: entries dropped by invalidation (targeted or clear-all)
         self.invalidated = 0
         #: invalidation sweeps performed (one per write or batch)
@@ -80,22 +82,29 @@ class PlanStore:
     def put(
         self, key: Hashable, entry: object, dependencies: Iterable[str] = ()
     ) -> list[object]:
-        """Store ``entry``; returns the entries evicted to make room.
+        """Store ``entry``; returns the entries displaced to make room.
 
-        Callers holding artifacts derived from stored entries (compiled
-        kernels in the executor) should release them for every returned
-        entry, exactly as they do for :meth:`invalidate`'s drops.
+        Displaced entries are both LRU evictions *and* the previous entry of
+        ``key`` when one existed (unless it is the very object being re-put):
+        a replaced entry is just as dead as an evicted one, and silently
+        dropping it would leak the artifacts derived from it.  Callers
+        holding such artifacts (compiled kernels in the executor) should
+        release them for every returned entry, exactly as they do for
+        :meth:`invalidate`'s drops.
         """
         if self.capacity <= 0:
             return []
+        displaced: list[object] = []
+        previous = self._slots.pop(key, None)
+        if previous is not None and previous.entry is not entry:
+            displaced.append(previous.entry)
+            self.replaced += 1
         self._slots[key] = _StoreSlot(entry=entry, dependencies=frozenset(dependencies))
-        self._slots.move_to_end(key)
-        evicted: list[object] = []
         while len(self._slots) > self.capacity:
             _, slot = self._slots.popitem(last=False)
-            evicted.append(slot.entry)
+            displaced.append(slot.entry)
             self.evictions += 1
-        return evicted
+        return displaced
 
     def invalidate(self, relations: Iterable[str] | None = None) -> list[object]:
         """Drop dependent entries after a write; returns the dropped entries.
@@ -131,6 +140,7 @@ class PlanStore:
             "misses": self.misses,
             "hit_rate": (self.hits / requests) if requests else 0.0,
             "evictions": self.evictions,
+            "replaced": self.replaced,
             "invalidated": self.invalidated,
             "sweeps": self.sweeps,
         }

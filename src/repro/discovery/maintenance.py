@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
 from ..core.access import AccessConstraint, AccessSchema
+from ..core.errors import MaintenanceError
 from ..storage.database import Database
 from ..storage.index import IndexSet
 
@@ -67,6 +68,12 @@ class MaintenanceReport:
     touched_relations: set[str] = field(default_factory=set)
     #: the database's global data version after the batch (None if nothing changed)
     version: int | None = None
+    #: True when the batch aborted part-way (see :class:`MaintenanceError`)
+    failed: bool = False
+    #: the update being applied when the batch aborted
+    failed_update: Update | None = None
+    #: rendered cause of the abort (``None`` for a fully-applied batch)
+    error: str | None = None
 
 
 def apply_updates(
@@ -88,44 +95,97 @@ def apply_updates(
     relation (``bump_clock=False`` leaves settling the clock to the caller —
     used by :meth:`repro.core.engine.BoundedEngine.apply_updates`, which
     combines the bump with one targeted cache sweep).
+
+    **Partial failures.** If applying some update raises (bad row, storage
+    fault, …), the batch aborts at that update: rows applied before it are
+    kept (each row is stored and indexed atomically, so storage and ``I_A``
+    stay consistent), and a :class:`~repro.core.errors.MaintenanceError` is
+    raised carrying the partial report.  The version clock is still settled
+    over the *partially*-touched relation set before the error propagates
+    (when ``bump_clock`` is set), so caches keyed by relation versions can
+    never keep serving pre-batch rows for relations the aborted batch did
+    mutate.
     """
     report = MaintenanceReport()
-    for update in updates:
-        relation = database.relation(update.relation)
-        constraints = access_schema.for_relation(update.relation)
-        # Charge the per-update maintenance budget up front: even a duplicate
-        # insert / missing delete costs the index probes needed to find out,
-        # and Proposition 12's O(N_A·|ΔD|) bound is about attempted updates.
-        report.work_units += sum(c.bound for c in constraints)
-        if update.kind == "insert":
-            if not relation.insert(update.row):
-                report.skipped += 1
-                continue
-            indexes.apply_insert(update.relation, update.row)
-            report.applied += 1
-            report.touched_relations.add(update.relation)
-            for constraint in constraints:
-                index = indexes.get(constraint)
-                if index is None:
-                    continue
-                key = tuple(update.row[relation.schema.position(a)] for a in sorted(constraint.lhs))
-                group = index.lookup(key)
-                distinct_rhs = {
-                    tuple(v[index.columns.index(a)] for a in sorted(constraint.rhs))
-                    for v in group
-                }
-                if len(distinct_rhs) > constraint.bound and constraint not in report.violated:
-                    report.violated.append(constraint)
-        else:
-            if not relation.delete(update.row):
-                report.skipped += 1
-                continue
-            indexes.apply_delete(update.relation, update.row, relation)
-            report.applied += 1
-            report.touched_relations.add(update.relation)
+    try:
+        _apply_update_loop(database, indexes, access_schema, updates, report)
+    except Exception as error:
+        report.failed = True
+        report.error = f"{type(error).__name__}: {error}"
+        if bump_clock and report.touched_relations:
+            report.version = database.clock.bump(sorted(report.touched_relations))
+        raise MaintenanceError(
+            f"update batch aborted after {report.applied} applied updates "
+            f"({report.error}); touched relations "
+            f"{sorted(report.touched_relations)} need cache settlement",
+            report=report,
+        ) from error
     if bump_clock and report.touched_relations:
         report.version = database.clock.bump(sorted(report.touched_relations))
     return report
+
+
+def _apply_update_loop(
+    database: Database,
+    indexes: IndexSet,
+    access_schema: AccessSchema,
+    updates: Iterable[Update],
+    report: MaintenanceReport,
+) -> None:
+    """The per-update body of :func:`apply_updates`, mutating ``report`` in place.
+
+    Kept separate so the partial-failure path of :func:`apply_updates` always
+    sees the exact progress made: ``report`` is updated *before* each step
+    that can fail, and ``failed_update`` is stamped on the way out.
+    """
+    update: Update | None = None
+    try:
+        for update in updates:
+            _apply_one_update(database, indexes, access_schema, update, report)
+    except Exception:
+        report.failed_update = update
+        raise
+
+
+def _apply_one_update(
+    database: Database,
+    indexes: IndexSet,
+    access_schema: AccessSchema,
+    update: Update,
+    report: MaintenanceReport,
+) -> None:
+    relation = database.relation(update.relation)
+    constraints = access_schema.for_relation(update.relation)
+    # Charge the per-update maintenance budget up front: even a duplicate
+    # insert / missing delete costs the index probes needed to find out,
+    # and Proposition 12's O(N_A·|ΔD|) bound is about attempted updates.
+    report.work_units += sum(c.bound for c in constraints)
+    if update.kind == "insert":
+        if not relation.insert(update.row):
+            report.skipped += 1
+            return
+        indexes.apply_insert(update.relation, update.row)
+        report.applied += 1
+        report.touched_relations.add(update.relation)
+        for constraint in constraints:
+            index = indexes.get(constraint)
+            if index is None:
+                continue
+            key = tuple(update.row[relation.schema.position(a)] for a in sorted(constraint.lhs))
+            group = index.lookup(key)
+            distinct_rhs = {
+                tuple(v[index.columns.index(a)] for a in sorted(constraint.rhs))
+                for v in group
+            }
+            if len(distinct_rhs) > constraint.bound and constraint not in report.violated:
+                report.violated.append(constraint)
+    else:
+        if not relation.delete(update.row):
+            report.skipped += 1
+            return
+        indexes.apply_delete(update.relation, update.row, relation)
+        report.applied += 1
+        report.touched_relations.add(update.relation)
 
 
 def maintain_constraints(

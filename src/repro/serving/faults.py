@@ -1,0 +1,192 @@
+"""Deterministic, seedable fault injection at the serving tier's seams.
+
+Robustness code that is never exercised is decoration.  This module wraps
+the three seams every request crosses —
+
+* **executor** — bounded-plan execution
+  (:meth:`repro.evaluator.executor.PlanExecutor.execute`, wrapped per engine
+  instance);
+* **fallback** — the unbounded conventional evaluation
+  (``BoundedEngine._fallback_evaluator``, an attribute precisely so it can
+  be wrapped without monkey-patching the module);
+* **storage writes** — :meth:`repro.storage.relation.RelationInstance.insert`
+  / ``delete`` on chosen relation instances, which is where a mid-batch
+  write failure leaves :func:`~repro.discovery.maintenance.apply_updates`
+  partially applied
+
+— and perturbs calls through them according to a :class:`FaultSpec`:
+added latency, random transient errors, and deterministic every-Nth-call
+failures.  All randomness comes from per-site ``random.Random`` streams
+derived from one seed, so a soak run is exactly reproducible and fault
+schedules at one site never shift when another site is reconfigured.
+
+Injected errors are :class:`~repro.core.errors.TransientFault` — the typed,
+retryable fault the :class:`~repro.serving.policy.RetryPolicy` knows how to
+handle.  Write-seam faults are raised *before* the underlying mutation runs,
+so storage and the constraint indexes can never diverge: the failure mode
+injected is "this row (and the rest of the batch) did not happen", which is
+exactly the partial-batch scenario the maintenance path must survive.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..core.errors import TransientFault
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject at one site.
+
+    ``latency`` (+ uniform ``latency_jitter``) is slept before the call;
+    ``error_rate`` raises a :class:`TransientFault` with that probability;
+    ``fail_every`` deterministically fails every Nth call through the site
+    (counted from 1, so ``fail_every=3`` fails calls 3, 6, 9, …).  Checks run
+    in that order; an injected failure still pays the injected latency, like
+    a real slow-then-dead dependency.
+    """
+
+    latency: float = 0.0
+    latency_jitter: float = 0.0
+    error_rate: float = 0.0
+    fail_every: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.latency > 0.0
+            or self.latency_jitter > 0.0
+            or self.error_rate > 0.0
+            or self.fail_every is not None
+        )
+
+
+class FaultInjector:
+    """Wraps callables at named sites and perturbs calls deterministically.
+
+    One injector owns every site of one serving stack.  ``configure(site,
+    spec)`` arms a site; ``install_*`` helpers wrap the concrete seams by
+    replacing *instance attributes* (never classes or modules), and
+    ``uninstall()`` restores every original, so an injector can be mounted
+    inside a test and torn down without trace.
+    """
+
+    def __init__(self, seed: int = 0, sleeper: Callable[[float], None] = time.sleep):
+        self.seed = seed
+        self.sleeper = sleeper
+        self._specs: dict[str, FaultSpec] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._calls: dict[str, int] = {}
+        #: per-site count of TransientFaults actually raised
+        self.injected: dict[str, int] = {}
+        self._installed: list[tuple[object, str, object]] = []
+
+    # -- configuration ---------------------------------------------------------
+    def configure(self, site: str, spec: FaultSpec) -> None:
+        """Arm ``site`` with ``spec`` (a default/empty spec disarms it)."""
+        if spec.active:
+            self._specs[site] = spec
+            # Seed per site name: schedules are independent across sites and
+            # stable under reconfiguration of other sites.
+            self._rngs.setdefault(site, random.Random((self.seed, site).__repr__()))
+        else:
+            self._specs.pop(site, None)
+
+    def calls(self, site: str) -> int:
+        return self._calls.get(site, 0)
+
+    # -- the perturbation itself -----------------------------------------------
+    def perturb(self, site: str) -> None:
+        """Apply ``site``'s spec to the current call (sleep and/or raise)."""
+        spec = self._specs.get(site)
+        if spec is None:
+            return
+        count = self._calls.get(site, 0) + 1
+        self._calls[site] = count
+        rng = self._rngs[site]
+        delay = spec.latency
+        if spec.latency_jitter > 0.0:
+            delay += rng.uniform(0.0, spec.latency_jitter)
+        if delay > 0.0:
+            self.sleeper(delay)
+        if spec.fail_every is not None and count % spec.fail_every == 0:
+            self._raise(site, f"deterministic fault (call #{count})")
+        if spec.error_rate > 0.0 and rng.random() < spec.error_rate:
+            self._raise(site, f"random transient fault (call #{count})")
+
+    def _raise(self, site: str, detail: str) -> None:
+        self.injected[site] = self.injected.get(site, 0) + 1
+        raise TransientFault(f"injected at {site!r}: {detail}")
+
+    def wrap(self, site: str, fn: Callable) -> Callable:
+        """A callable that perturbs ``site`` and then runs ``fn``."""
+
+        def faulty(*args, **kwargs):
+            self.perturb(site)
+            return fn(*args, **kwargs)
+
+        faulty.__wrapped__ = fn  # lets uninstall/debugging find the original
+        return faulty
+
+    # -- seam installers -------------------------------------------------------
+    def _install_attr(self, obj: object, attr: str, site: str) -> None:
+        original = getattr(obj, attr)
+        # Remember whether the attribute lived on the instance itself (e.g.
+        # ``_fallback_evaluator``) or was a method found on the class: the
+        # latter is restored by deleting the shadowing instance attribute.
+        was_instance_attr = attr in getattr(obj, "__dict__", {})
+        self._installed.append((obj, attr, original if was_instance_attr else None))
+        setattr(obj, attr, self.wrap(site, original))
+
+    def install_engine(self, engine) -> None:
+        """Wrap one engine's bounded-execution and conventional-fallback seams.
+
+        Sites: ``"executor"`` (compiled-plan execution; result-cache hits
+        never reach it, mirroring a storage-side fault) and ``"fallback"``
+        (the unbounded conventional evaluation guarded by the breaker).
+        """
+        self._install_attr(engine._executor, "execute", "executor")
+        self._install_attr(engine, "_fallback_evaluator", "fallback")
+
+    def install_writes(self, database, relations: Iterable[str] | None = None) -> None:
+        """Wrap the storage write seam of ``relations`` (default: all).
+
+        Site ``"storage.write"``.  Faults fire *before* the row is applied,
+        so an aborted batch is always a clean prefix: rows up to the fault
+        are stored and indexed, the faulting row and everything after it are
+        not.
+        """
+        names = tuple(relations) if relations is not None else database.relation_names()
+        for name in names:
+            instance = database.relation(name)
+            self._install_attr(instance, "insert", "storage.write")
+            self._install_attr(instance, "delete", "storage.write")
+
+    def uninstall(self) -> None:
+        """Restore every wrapped seam to its original callable."""
+        while self._installed:
+            obj, attr, original = self._installed.pop()
+            if original is None:
+                delattr(obj, attr)
+            else:
+                setattr(obj, attr, original)
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- reporting -------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            site: {
+                "calls": self._calls.get(site, 0),
+                "injected": self.injected.get(site, 0),
+            }
+            for site in sorted(self._specs)
+        }

@@ -1,0 +1,449 @@
+"""The hardened asyncio serving tier over the versioned bounded-evaluation core.
+
+:class:`BoundedServer` is the "millions of users" front end of ROADMAP item 1:
+an asyncio session layer where **concurrent readers validate lock-free
+against the database's** :class:`~repro.storage.counters.VersionClock`
+**snapshot** while **writes serialize** through the engine's batched
+:meth:`~repro.core.engine.BoundedEngine.apply_updates` path — so no reader
+ever observes a half-applied batch, and a write batch costs one version bump
+plus one cache sweep no matter its size.
+
+What makes the tier *hardened* rather than hopeful is that the paper's
+central guarantee — a covered query touches at most ``access_bound()``
+tuples regardless of ``|D|`` — turns per-request cost into a number known
+**before execution**.  Admission control can therefore be sound instead of
+heuristic:
+
+* **Bounded queue + load shedding** — requests beyond ``max_queue_depth``,
+  or whose plan's ``access_bound()`` exceeds ``max_access_bound``, are shed
+  immediately with :class:`~repro.core.errors.OverloadedError` instead of
+  queueing unboundedly.
+* **Per-request deadlines** — a request that expires in the queue or between
+  retry attempts fails with
+  :class:`~repro.core.errors.DeadlineExceededError`; queue time is never
+  hidden inside service time.
+* **Retries with decorrelated jitter + a global retry budget** — only
+  :class:`~repro.core.errors.TransientFault` is retried, never beyond the
+  deadline, and never beyond the budget's retry-to-request ratio.
+* **A circuit breaker around the unbounded conventional fallback** —
+  installed on the engine itself (``fallback_breaker``), so an
+  uncovered-query stampede fails fast with
+  :class:`~repro.core.errors.CircuitOpenError` instead of starving the
+  covered hot path.
+
+Every read walks the **graceful-degradation ladder** and records each rung
+on its response: result-cache hit → bounded plan execution →
+(breaker-permitting) conventional fallback → typed rejection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..core.engine import BoundedEngine, EngineResult
+from ..core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    MaintenanceError,
+    NotCoveredError,
+    OverloadedError,
+    ReproError,
+    TransientFault,
+)
+from ..core.query import Query
+from .metrics import ServingMetrics
+from .policy import Backoff, CircuitBreaker, Deadline, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..discovery.maintenance import MaintenanceReport, Update
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one :class:`BoundedServer`.
+
+    ``max_access_bound`` is the per-request cost budget in tuples: covered
+    queries whose plan's ``access_bound()`` exceeds it are shed at admission
+    (``None`` disables the check).  ``default_timeout`` applies when a
+    request carries no timeout of its own (``None``: no deadline).
+    """
+
+    max_queue_depth: int = 64
+    workers: int = 4
+    default_timeout: float | None = 2.0
+    max_access_bound: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 0.25
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Answer ``query``; ``timeout`` (seconds) overrides the server default."""
+
+    query: Query
+    timeout: float | None = None
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """Apply an update batch through the engine's maintenance path."""
+
+    updates: tuple["Update", ...]
+    timeout: float | None = None
+
+
+@dataclass
+class ServeResponse:
+    """One request's outcome, including the degradation ladder it walked.
+
+    ``ladder`` lists every rung attempted in order (e.g. ``("bounded:fault",
+    "bounded")`` for a read that hit a transient fault and succeeded on
+    retry); ``strategy`` is the terminal rung.  ``elapsed`` is engine
+    *service* time summed over attempts — queue wait, retry sleeps, and any
+    ``post_check`` audit are excluded, so latency quantiles measure the
+    serving cost itself.  ``snapshot_valid`` reports
+    the lock-free read validation: the dependency snapshot taken before
+    execution still stood afterwards, i.e. the rows cannot be a torn read.
+    For writes, ``report`` is the (possibly partial) maintenance report and
+    ``ok`` is ``False`` when the batch aborted part-way — the applied prefix
+    is kept and all caches were settled over it.
+    """
+
+    ok: bool
+    strategy: str
+    ladder: tuple[str, ...]
+    rows: frozenset[tuple] = frozenset()
+    columns: tuple[str, ...] = ()
+    attempts: int = 1
+    elapsed: float = 0.0
+    snapshot_valid: bool = True
+    error: ReproError | None = None
+    report: "MaintenanceReport | None" = None
+
+
+class BoundedServer:
+    """Concurrent request serving over one :class:`BoundedEngine`.
+
+    All engine calls run on the event-loop thread (the engine is not
+    thread-safe); concurrency comes from interleaving requests at await
+    points, which is exactly where the robustness machinery lives: queueing,
+    retry sleeps, and deadline checks.  ``post_check`` (if given) is called
+    synchronously as ``post_check(query, result)`` immediately after every
+    successful read — with no awaits in between, so the database state it
+    sees is precisely the state the rows were computed from; the
+    fault-injection soak uses it to cross-check served rows against the
+    uncached reference evaluator.
+    """
+
+    def __init__(
+        self,
+        engine: BoundedEngine,
+        config: ServerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        post_check: Callable[[Query, EngineResult], None] | None = None,
+    ):
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        self.clock = clock
+        self.post_check = post_check
+        self.metrics = ServingMetrics()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=clock,
+        )
+        # Mount the breaker on the engine: the gate lives where the unbounded
+        # work happens, so even direct engine callers are protected.
+        engine.fallback_breaker = self.breaker
+        self._budget = self.config.retry.budget()
+        self._rng = random.Random(self.config.seed)
+        self._queue: asyncio.Queue | None = None
+        self._write_lock: asyncio.Lock | None = None
+        self._workers: list[asyncio.Task] = []
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        if self._workers:
+            return
+        self._queue = asyncio.Queue()
+        self._write_lock = asyncio.Lock()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"bounded-serve-{i}")
+            for i in range(max(1, self.config.workers))
+        ]
+
+    async def stop(self) -> None:
+        if not self._workers:
+            return
+        assert self._queue is not None
+        for _ in self._workers:
+            self._queue.put_nowait(None)
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+
+    async def __aenter__(self) -> "BoundedServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- admission -------------------------------------------------------------
+    async def submit(self, request: ReadRequest | WriteRequest) -> ServeResponse:
+        """Admit, queue, and serve one request.
+
+        Raises :class:`OverloadedError` (queue full / cost budget),
+        :class:`DeadlineExceededError`, :class:`CircuitOpenError`, or the
+        terminal :class:`TransientFault` once retries are exhausted.
+        """
+        if self._queue is None:
+            raise ReproError("server is not started; use `async with BoundedServer(...)`")
+        self.metrics.submitted += 1
+        if self._queue.qsize() >= self.config.max_queue_depth:
+            self.metrics.shed("queue_full")
+            raise OverloadedError(
+                f"request queue is full ({self.config.max_queue_depth} deep); "
+                "retry with backoff"
+            )
+        if isinstance(request, ReadRequest):
+            self._admit_cost(request.query)
+        timeout = (
+            request.timeout if request.timeout is not None else self.config.default_timeout
+        )
+        deadline = Deadline.after(timeout, self.clock) if timeout is not None else None
+        self.metrics.admitted += 1
+        self._budget.record_attempt()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((request, deadline, future))
+        self.metrics.enqueued()
+        return await future
+
+    def _admit_cost(self, query: Query) -> None:
+        """Shed covered queries whose static cost bound exceeds the budget.
+
+        This is the paper's guarantee put to operational use: for a covered
+        query the plan's ``access_bound()`` caps data access *regardless of
+        database size*, so the check is exact, not an estimate.  Uncovered
+        queries have no bound; they pass here and face the fallback breaker
+        instead.
+        """
+        budget = self.config.max_access_bound
+        if budget is None:
+            return
+        prepared, _ = self.engine.prepare(query)
+        if prepared.covered and prepared.plan is not None:
+            bound = prepared.plan.access_bound()
+            if bound > budget:
+                self.metrics.shed("cost")
+                raise OverloadedError(
+                    f"query's access bound ({bound} tuples) exceeds the "
+                    f"per-request budget ({budget}); narrow the query or "
+                    "raise the budget"
+                )
+
+    # -- the serve loop ----------------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            request, deadline, future = item
+            self.metrics.dequeued()
+            try:
+                if future.done():  # caller vanished (cancelled) while queued
+                    continue
+                try:
+                    response = await self._handle(request, deadline)
+                except ReproError as error:
+                    self.metrics.failed += 1
+                    if not future.done():  # caller may have been cancelled mid-serve
+                        future.set_exception(error)
+                else:
+                    self.metrics.completed += 1
+                    if not future.done():
+                        future.set_result(response)
+            finally:
+                self._queue.task_done()
+
+    async def _handle(
+        self, request: ReadRequest | WriteRequest, deadline: Deadline | None
+    ) -> ServeResponse:
+        if deadline is not None and deadline.expired:
+            self.metrics.shed("deadline")
+            raise DeadlineExceededError("deadline expired while queued")
+        if isinstance(request, WriteRequest):
+            return await self._serve_write(request, deadline)
+        return await self._serve_read(request, deadline)
+
+    # -- reads: the degradation ladder -------------------------------------------
+    async def _serve_read(
+        self, request: ReadRequest, deadline: Deadline | None
+    ) -> ServeResponse:
+        ladder: list[str] = []
+        backoff = self.config.retry.backoff(self._rng)
+        attempts = 0
+        service = 0.0  # engine time across attempts; excludes sleeps + audits
+
+        # Rungs 1+2: result cache, then bounded plan (engine folds the two;
+        # the response distinguishes them via ``result_cached``).
+        covered = True
+        result: EngineResult | None = None
+        while True:
+            attempts += 1
+            try:
+                result, snapshot_valid, spent = self._execute_checked(
+                    request.query, fallback=False
+                )
+                service += spent
+            except NotCoveredError:
+                covered = False
+                ladder.append("uncovered")
+                break
+            except TransientFault as fault:
+                ladder.append("bounded:fault")
+                if not await self._retry_permitted(attempts, backoff, deadline):
+                    self.metrics.finished("bounded_failed", service)
+                    raise fault
+                continue
+            ladder.append("result_cache" if result.result_cached else "bounded")
+            break
+
+        # Rung 3: conventional fallback, gated by the engine-mounted breaker.
+        if not covered:
+            while True:
+                attempts += 1
+                if deadline is not None and deadline.expired:
+                    self.metrics.shed("deadline")
+                    raise DeadlineExceededError("deadline expired before fallback")
+                try:
+                    result, snapshot_valid, spent = self._execute_checked(
+                        request.query, fallback=True
+                    )
+                    service += spent
+                except CircuitOpenError:
+                    # Rung 4: typed rejection — the ladder's floor.
+                    ladder.append("rejected:breaker_open")
+                    self.metrics.shed("breaker")
+                    self.metrics.finished("rejected", service)
+                    raise
+                except TransientFault as fault:
+                    ladder.append("fallback:fault")
+                    if not await self._retry_permitted(attempts, backoff, deadline):
+                        self.metrics.finished("fallback_failed", service)
+                        raise fault
+                    continue
+                ladder.append("conventional")
+                break
+
+        assert result is not None
+        strategy = ladder[-1]
+        self.metrics.finished(strategy, service)
+        return ServeResponse(
+            ok=True,
+            strategy=strategy,
+            ladder=tuple(ladder),
+            rows=result.rows,
+            columns=result.columns,
+            attempts=attempts,
+            elapsed=service,
+            snapshot_valid=snapshot_valid,
+        )
+
+    def _execute_checked(
+        self, query: Query, *, fallback: bool
+    ) -> tuple[EngineResult, bool, float]:
+        """One engine execution, with lock-free snapshot validation around it.
+
+        The dependency snapshot is captured immediately before execution and
+        re-validated immediately after; in between there is no await, so on
+        this single-threaded tier validation must hold — it is the invariant
+        that turns "no reader observes a half-applied batch" from an
+        architectural claim into a per-request check.  ``post_check`` (the
+        soak's reference cross-check) runs in the same no-await window, but
+        *after* the service-time measurement — the audit must not pollute the
+        latency quantiles it exists to validate.
+        """
+        deps: Sequence[str] = ()
+        if fallback is False:
+            prepared, _ = self.engine.prepare(query)
+            if prepared.covered:
+                deps = prepared.dependencies
+        clock = self.engine.database.clock
+        started = self.clock()
+        snapshot = clock.snapshot(deps)
+        result = self.engine.execute(query, fallback=fallback)
+        snapshot_valid = clock.validate(deps, snapshot)
+        spent = self.clock() - started
+        if self.post_check is not None:
+            self.post_check(query, result)
+        return result, snapshot_valid, spent
+
+    async def _retry_permitted(
+        self, attempts: int, backoff: Backoff, deadline: Deadline | None
+    ) -> bool:
+        """Whether a transient fault may be retried; sleeps the backoff if so."""
+        if attempts >= self.config.retry.max_attempts:
+            return False
+        if not self._budget.try_spend():
+            return False
+        delay = backoff.next_delay()
+        if deadline is not None and deadline.remaining() <= delay:
+            return False
+        self.metrics.retries += 1
+        await asyncio.sleep(delay)
+        return True
+
+    # -- writes: serialized through the batched maintenance path -------------------
+    async def _serve_write(
+        self, request: WriteRequest, deadline: Deadline | None
+    ) -> ServeResponse:
+        assert self._write_lock is not None
+        async with self._write_lock:
+            started = self.clock()
+            if deadline is not None and deadline.expired:
+                self.metrics.shed("deadline")
+                raise DeadlineExceededError("deadline expired waiting for the write lock")
+            try:
+                report = self.engine.apply_updates(request.updates)
+            except MaintenanceError as error:
+                # The applied prefix is kept and the engine has already settled
+                # the clock + cache sweeps over it, so readers can never see
+                # pre-batch cached rows: surface the partial outcome.
+                self.metrics.write_failures += 1
+                self.metrics.finished("write_failed", self.clock() - started)
+                return ServeResponse(
+                    ok=False,
+                    strategy="write_failed",
+                    ladder=("write:partial_failure",),
+                    elapsed=self.clock() - started,
+                    error=error,
+                    report=error.report,
+                )
+            self.metrics.writes_applied += 1
+            elapsed = self.clock() - started
+            self.metrics.finished("write", elapsed)
+            return ServeResponse(
+                ok=True,
+                strategy="write",
+                ladder=("write",),
+                elapsed=elapsed,
+                report=report,
+            )
+
+    # -- reporting ---------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving metrics + breaker + engine cache stats, JSON-ready."""
+        return {
+            "serving": self.metrics.snapshot(),
+            "breaker": self.breaker.stats(),
+            "caches": self.engine.cache_stats(),
+        }

@@ -1,0 +1,342 @@
+"""Seeded fault-injection soak: a randomized mixed read/write serving run.
+
+The acceptance harness for the hardened tier.  One soak run drives a
+:class:`~repro.serving.server.BoundedServer` over a generated workload
+(:mod:`repro.workloads.generator`) with the
+:class:`~repro.serving.faults.FaultInjector` armed at every seam, and checks
+the robustness contract end to end:
+
+* **No stale or torn reads, ever** — every served read is cross-checked
+  row-for-row against the uncached reference evaluator
+  (:func:`repro.evaluator.algebra.evaluate`) in the server's no-await
+  ``post_check`` window, *including* reads right after mid-batch write
+  failures; the lock-free snapshot validation must hold on every response.
+* **Overload sheds, it does not queue unboundedly** — a submission burst
+  beyond the queue depth must produce
+  :class:`~repro.core.errors.OverloadedError` sheds.
+* **Deadlines are honored** — already-expired requests fail with
+  :class:`~repro.core.errors.DeadlineExceededError`.
+* **The breaker isolates the unbounded fallback** — with the conventional
+  path failing (100% injected faults + latency), the breaker must open,
+  uncovered queries must degrade to typed rejections, and the covered p99
+  must stay below the injected fallback latency floor.
+* **Mid-batch write failures surface and settle** — some update batches
+  abort part-way (deterministic every-Nth write fault); the partial prefix
+  must be kept, reported, and invisible to the cross-check above.
+
+Everything is derived from one seed, so a failing run is replayable bit for
+bit.  Run it locally via ``python -m repro.cli soak`` (see README).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..bench.experiments import select_covered_queries
+from ..core.engine import BoundedEngine
+from ..core.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    TransientFault,
+)
+from ..core.query import Query
+from ..discovery.maintenance import Update
+from ..evaluator.algebra import evaluate
+from ..workloads import WORKLOADS
+from ..workloads.generator import RandomQueryGenerator
+from .faults import FaultInjector, FaultSpec
+from .server import BoundedServer, ReadRequest, ServerConfig, WriteRequest
+
+
+@dataclass
+class SoakConfig:
+    """One soak run, fully determined by ``seed``."""
+
+    workload: str = "AIRCA"
+    scale: int = 120
+    seed: int = 0
+    requests: int = 200
+    write_ratio: float = 0.2
+    covered_queries: int = 8
+    uncovered_queries: int = 3
+    batch_size: int = 6
+    wave: int = 16
+    faults: bool = True
+    verify: bool = True
+    queue_depth: int = 32
+    workers: int = 4
+    deadline: float = 10.0
+    #: injected fault intensities (only read when ``faults`` is set)
+    executor_error_rate: float = 0.08
+    executor_latency: float = 0.0005
+    fallback_latency: float = 0.05
+    storage_fail_every: int = 17
+
+
+@dataclass
+class SoakOutcome:
+    """Tallies of one soak run (the JSON report adds stats snapshots)."""
+
+    reads_served: int = 0
+    reads_verified: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    snapshot_violations: int = 0
+    writes_ok: int = 0
+    writes_partial: int = 0
+    shed_overload: int = 0
+    shed_deadline: int = 0
+    rejected_breaker: int = 0
+    failed_transient: int = 0
+    other_errors: list[str] = field(default_factory=list)
+
+
+def _uncovered_queries(workload, database, seed: int, count: int) -> list[Query]:
+    """Generate queries the access schema does **not** cover (fallback traffic)."""
+    from ..core.coverage import check_coverage
+
+    generator = RandomQueryGenerator(workload, database=database, seed=seed)
+    found: list[Query] = []
+    attempts = 0
+    while len(found) < count and attempts < 300:
+        attempts += 1
+        query = generator.generate(
+            n_sel=generator.rng.randint(1, 3),
+            n_join=generator.rng.randint(0, 2),
+            n_unidiff=0,
+        )
+        if not check_coverage(query, workload.access_schema).is_covered:
+            found.append(query)
+    return found
+
+
+class _WriteStream:
+    """Deterministic mixed delete/re-insert batches over live relations.
+
+    Deletes sample currently-present rows; re-inserts draw from the pool of
+    rows this stream previously deleted — so batches are real data changes
+    that never violate the access constraints (shrinking a relation cannot
+    grow a group, and re-inserting a previously-present row cannot either).
+    """
+
+    def __init__(self, database, relations: list[str], rng: random.Random):
+        self.database = database
+        self.relations = [r for r in relations if len(database.relation(r)) > 0]
+        self.rng = rng
+        self._removed: dict[str, list[tuple]] = {name: [] for name in self.relations}
+
+    def next_batch(self, size: int) -> tuple[Update, ...]:
+        updates: list[Update] = []
+        for _ in range(size):
+            name = self.rng.choice(self.relations)
+            removed = self._removed[name]
+            instance = self.database.relation(name)
+            if removed and (self.rng.random() < 0.5 or len(instance) == 0):
+                updates.append(Update.insert(name, removed.pop()))
+            elif len(instance) > 0:
+                row = self.rng.choice(instance.rows)
+                removed.append(row)
+                updates.append(Update.delete(name, row))
+        return tuple(updates)
+
+
+def run_soak(config: SoakConfig) -> dict:
+    """Run one seeded soak and return its JSON-ready report (see ``passed``)."""
+    if config.workload not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {config.workload!r}; pick one of {sorted(WORKLOADS)}"
+        )
+    workload = WORKLOADS[config.workload]
+    database = workload.database(scale=config.scale, seed=config.seed)
+    engine = BoundedEngine(database, workload.access_schema, check_constraints=False)
+
+    covered = select_covered_queries(
+        workload, count=config.covered_queries, seed=config.seed, database=database
+    )
+    uncovered = _uncovered_queries(
+        workload, database, seed=config.seed + 1, count=config.uncovered_queries
+    )
+    if not covered:
+        raise ReproError(f"workload {config.workload}: no covered queries generated")
+
+    # Writes target the covered queries' dependency relations, so batches
+    # actually churn the result cache instead of idling on unrelated data.
+    dependencies: set[str] = set()
+    for query in covered:
+        prepared, _ = engine.prepare(query)
+        dependencies.update(prepared.dependencies)
+    rng = random.Random(config.seed)
+    writes = _WriteStream(database, sorted(dependencies), rng)
+
+    outcome = SoakOutcome()
+
+    def post_check(query: Query, result) -> None:
+        outcome.reads_served += 1
+        if not config.verify:
+            return
+        reference = evaluate(query, database).rows
+        outcome.reads_verified += 1
+        if result.rows != reference:
+            outcome.mismatches.append(
+                f"{len(result.rows)} rows served vs {len(reference)} reference "
+                f"(strategy={result.strategy}) for:\n{query}"
+            )
+
+    injector = FaultInjector(seed=config.seed)
+    if config.faults:
+        injector.configure(
+            "executor",
+            FaultSpec(
+                latency=config.executor_latency,
+                error_rate=config.executor_error_rate,
+            ),
+        )
+        # The conventional path is fully broken: always slow, always failing.
+        # The breaker must contain it.
+        injector.configure(
+            "fallback", FaultSpec(latency=config.fallback_latency, error_rate=1.0)
+        )
+        injector.configure(
+            "storage.write", FaultSpec(fail_every=config.storage_fail_every)
+        )
+        injector.install_engine(engine)
+        injector.install_writes(database)
+
+    server_config = ServerConfig(
+        max_queue_depth=config.queue_depth,
+        workers=config.workers,
+        default_timeout=config.deadline,
+        seed=config.seed,
+    )
+    server = BoundedServer(engine, server_config, post_check=post_check)
+
+    async def _drive() -> None:
+        async with server:
+            # Phase A — randomized mixed read/write traffic, in waves small
+            # enough that the queue never fills (phase B tests that).
+            pending: list[asyncio.Task] = []
+            for _ in range(config.requests):
+                roll = rng.random()
+                if roll < config.write_ratio:
+                    request: ReadRequest | WriteRequest = WriteRequest(
+                        updates=writes.next_batch(config.batch_size)
+                    )
+                elif uncovered and roll < config.write_ratio + 0.1:
+                    request = ReadRequest(query=rng.choice(uncovered))
+                else:
+                    request = ReadRequest(query=rng.choice(covered))
+                pending.append(asyncio.ensure_future(server.submit(request)))
+                if len(pending) >= config.wave:
+                    await _settle(pending)
+                    pending = []
+            await _settle(pending)
+
+            # Phase B — overload burst: 3× the queue depth at once.  Admission
+            # must shed the excess instead of queueing it.
+            burst = [
+                asyncio.ensure_future(server.submit(ReadRequest(query=rng.choice(covered))))
+                for _ in range(config.queue_depth * 3)
+            ]
+            await _settle(burst)
+
+            # Phase C — deadline probes: already-expired requests must be
+            # refused with the typed deadline error, never served.
+            probes = [
+                asyncio.ensure_future(
+                    server.submit(ReadRequest(query=rng.choice(covered), timeout=0.0))
+                )
+                for _ in range(3)
+            ]
+            await _settle(probes)
+
+            # Phase D — post-chaos audit: with faults still armed, every
+            # covered query must serve rows identical to the uncached
+            # reference (this is where a missed cache sweep after a partial
+            # batch would surface as a stale read).
+            for query in covered:
+                audits = [asyncio.ensure_future(server.submit(ReadRequest(query=query)))]
+                await _settle(audits)
+
+    async def _settle(tasks: list[asyncio.Task]) -> None:
+        for result in await asyncio.gather(*tasks, return_exceptions=True):
+            _tally(result)
+
+    def _tally(result) -> None:
+        if isinstance(result, DeadlineExceededError):
+            outcome.shed_deadline += 1
+        elif isinstance(result, OverloadedError):
+            # CircuitOpenError subclasses OverloadedError: split on the rung.
+            if "breaker" in str(result) or "circuit" in str(result):
+                outcome.rejected_breaker += 1
+            else:
+                outcome.shed_overload += 1
+        elif isinstance(result, TransientFault):
+            outcome.failed_transient += 1
+        elif isinstance(result, BaseException):
+            outcome.other_errors.append(f"{type(result).__name__}: {result}")
+        elif result.strategy == "write":
+            outcome.writes_ok += 1
+        elif result.strategy == "write_failed":
+            outcome.writes_partial += 1
+        elif not result.snapshot_valid:
+            outcome.snapshot_violations += 1
+
+    try:
+        asyncio.run(_drive())
+    finally:
+        injector.uninstall()
+
+    stats = server.stats()
+    covered_p99_ms = max(
+        (stats["serving"]["latency"].get(key, {}).get("p99_ms", 0.0))
+        for key in ("bounded", "result_cache")
+    )
+    checks = {
+        "no_result_mismatches": not outcome.mismatches,
+        "no_snapshot_violations": outcome.snapshot_violations == 0,
+        "no_unexpected_errors": not outcome.other_errors,
+        "overload_shed": outcome.shed_overload > 0,
+        "deadline_enforced": outcome.shed_deadline > 0,
+        "reads_verified": outcome.reads_verified > 0 or not config.verify,
+    }
+    if config.faults:
+        checks.update(
+            {
+                "breaker_opened": stats["breaker"]["times_opened"] > 0,
+                "breaker_rejected_fallback": outcome.rejected_breaker > 0,
+                "covered_p99_below_fallback_floor": (
+                    covered_p99_ms < config.fallback_latency * 1000
+                ),
+                "partial_write_batches_surfaced": outcome.writes_partial > 0,
+            }
+        )
+    return {
+        "config": {
+            "workload": config.workload,
+            "scale": config.scale,
+            "seed": config.seed,
+            "requests": config.requests,
+            "faults": config.faults,
+            "verify": config.verify,
+        },
+        "outcome": {
+            "reads_served": outcome.reads_served,
+            "reads_verified": outcome.reads_verified,
+            "mismatches": outcome.mismatches[:5],
+            "snapshot_violations": outcome.snapshot_violations,
+            "writes_ok": outcome.writes_ok,
+            "writes_partial": outcome.writes_partial,
+            "shed_overload": outcome.shed_overload,
+            "shed_deadline": outcome.shed_deadline,
+            "rejected_breaker": outcome.rejected_breaker,
+            "failed_transient": outcome.failed_transient,
+            "other_errors": outcome.other_errors[:5],
+        },
+        "covered_p99_ms": covered_p99_ms,
+        "server": stats,
+        "faults": injector.stats(),
+        "checks": checks,
+        "passed": all(checks.values()),
+    }

@@ -105,3 +105,28 @@ class VersionClock:
         a sound result-cache key.
         """
         return tuple(self._per_key.get(key, 0) for key in keys)
+
+    def validate(self, keys: Iterable[Hashable], snapshot: tuple[int, ...]) -> bool:
+        """Whether ``keys`` still stand at ``snapshot`` — a lock-free read check.
+
+        Readers in the serving tier validate optimistically instead of
+        locking: capture a snapshot, do the read, then ``validate`` that no
+        dependent key was written meanwhile.  A ``False`` answer means the
+        read may have observed a torn state and must be retried or dropped.
+        """
+        return self.snapshot(keys) == snapshot
+
+    def changed_since(
+        self, keys: Iterable[Hashable], snapshot: tuple[int, ...]
+    ) -> tuple[Hashable, ...]:
+        """The subset of ``keys`` written since ``snapshot`` was taken.
+
+        Diagnostic companion of :meth:`validate`: names *which* dependencies
+        moved, in the order given (pairs ``keys`` with ``snapshot``
+        positionally, exactly as :meth:`snapshot` produced it).
+        """
+        return tuple(
+            key
+            for key, version in zip(keys, snapshot)
+            if self._per_key.get(key, 0) != version
+        )

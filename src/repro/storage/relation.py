@@ -57,12 +57,25 @@ class RelationInstance:
         self._rows.remove(prepared)
         return True
 
-    def _prepare(self, row: Sequence | Mapping[str, object]) -> Row:
+    def prepare(self, row: Sequence | Mapping[str, object]) -> Row:
+        """Validate ``row`` against the schema and return its positional form.
+
+        Raises :class:`~repro.core.errors.StorageError` (a ``ReproError``) on
+        arity mismatches, missing attributes, or unknown attributes — without
+        mutating anything, so callers can validate *before* touching storage
+        or derived indexes.
+        """
         if isinstance(row, Mapping):
             missing = [a for a in self.schema.attributes if a not in row]
             if missing:
                 raise StorageError(
                     f"row for {self.schema.name!r} is missing attributes {missing}"
+                )
+            unknown = sorted(k for k in row if k not in self.schema.attributes)
+            if unknown:
+                raise StorageError(
+                    f"row for {self.schema.name!r} has unknown attributes {unknown}; "
+                    f"schema has {list(self.schema.attributes)}"
                 )
             return tuple(row[a] for a in self.schema.attributes)
         prepared = tuple(row)
@@ -72,6 +85,9 @@ class RelationInstance:
                 f"{self.schema.name!r} of arity {len(self.schema)}"
             )
         return prepared
+
+    # Backward-compatible alias (pre-existing callers used the private name).
+    _prepare = prepare
 
     # -- access -------------------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,150 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.core.engine import BoundedEngine
+from repro.core.errors import TransientFault
+from repro.serving.faults import FaultInjector, FaultSpec
+from repro.storage.database import Database
+
+
+class TestFaultSpec:
+    def test_default_spec_is_inert(self):
+        assert not FaultSpec().active
+
+    def test_any_knob_activates(self):
+        assert FaultSpec(latency=0.001).active
+        assert FaultSpec(error_rate=0.5).active
+        assert FaultSpec(fail_every=3).active
+        assert FaultSpec(latency_jitter=0.001).active
+
+
+class TestPerturb:
+    def test_unconfigured_site_is_a_noop(self):
+        injector = FaultInjector(seed=0)
+        injector.perturb("nowhere")
+        assert injector.calls("nowhere") == 0
+
+    def test_fail_every_is_exact(self):
+        injector = FaultInjector(seed=0)
+        injector.configure("site", FaultSpec(fail_every=3))
+        failures = []
+        for call in range(1, 10):
+            try:
+                injector.perturb("site")
+            except TransientFault:
+                failures.append(call)
+        assert failures == [3, 6, 9]
+        assert injector.injected["site"] == 3
+
+    def test_error_rate_one_always_fails(self):
+        injector = FaultInjector(seed=0)
+        injector.configure("site", FaultSpec(error_rate=1.0))
+        with pytest.raises(TransientFault):
+            injector.perturb("site")
+
+    def test_error_schedule_is_deterministic_per_seed(self):
+        def schedule(seed: int) -> list[bool]:
+            injector = FaultInjector(seed=seed)
+            injector.configure("site", FaultSpec(error_rate=0.3))
+            outcomes = []
+            for _ in range(50):
+                try:
+                    injector.perturb("site")
+                    outcomes.append(False)
+                except TransientFault:
+                    outcomes.append(True)
+            return outcomes
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_sites_have_independent_streams(self):
+        injector = FaultInjector(seed=0)
+        injector.configure("a", FaultSpec(error_rate=0.5))
+        outcomes_a = []
+        for _ in range(30):
+            try:
+                injector.perturb("a")
+                outcomes_a.append(False)
+            except TransientFault:
+                outcomes_a.append(True)
+
+        # Re-run site "a" with site "b" also armed: a's schedule must not move.
+        fresh = FaultInjector(seed=0)
+        fresh.configure("a", FaultSpec(error_rate=0.5))
+        fresh.configure("b", FaultSpec(error_rate=0.5))
+        outcomes_again = []
+        for _ in range(30):
+            try:
+                fresh.perturb("b")  # interleave b's draws
+            except TransientFault:
+                pass
+            try:
+                fresh.perturb("a")
+                outcomes_again.append(False)
+            except TransientFault:
+                outcomes_again.append(True)
+        assert outcomes_a == outcomes_again
+
+    def test_latency_uses_injected_sleeper(self):
+        slept = []
+        injector = FaultInjector(seed=0, sleeper=slept.append)
+        injector.configure("site", FaultSpec(latency=0.25))
+        injector.perturb("site")
+        assert slept == [0.25]
+
+
+class TestInstallation:
+    def test_wrap_preserves_return_value_and_counts_calls(self):
+        injector = FaultInjector(seed=0)
+        injector.configure("site", FaultSpec(latency=0.0, fail_every=100))
+        wrapped = injector.wrap("site", lambda x: x * 2)
+        assert wrapped(21) == 42
+        assert injector.calls("site") == 1
+
+    def test_install_writes_faults_before_mutation(self, fb_database):
+        injector = FaultInjector(seed=0)
+        injector.configure("storage.write", FaultSpec(error_rate=1.0))
+        injector.install_writes(fb_database)
+        name = fb_database.relation_names()[0]
+        instance = fb_database.relation(name)
+        before = set(instance.rows)
+        row = next(iter(before))
+        with pytest.raises(TransientFault):
+            instance.delete(row)
+        assert set(instance.rows) == before  # the delete never happened
+
+    def test_uninstall_restores_instance_methods(self, fb_database):
+        name = fb_database.relation_names()[0]
+        instance = fb_database.relation(name)
+        assert "insert" not in instance.__dict__
+        with FaultInjector(seed=0) as injector:
+            injector.configure("storage.write", FaultSpec(fail_every=1000))
+            injector.install_writes(fb_database, [name])
+            assert "insert" in instance.__dict__
+        assert "insert" not in instance.__dict__  # class method shines through again
+        assert "delete" not in instance.__dict__
+
+    def test_install_engine_wraps_executor_and_fallback(
+        self, fb_database, fb_access, fb_q0_prime
+    ):
+        engine = BoundedEngine(fb_database, fb_access, check_constraints=False)
+        injector = FaultInjector(seed=0)
+        injector.configure("executor", FaultSpec(error_rate=1.0))
+        injector.install_engine(engine)
+        with pytest.raises(TransientFault):
+            engine.execute(fb_q0_prime)
+        injector.uninstall()
+        result = engine.execute(fb_q0_prime)  # restored: executes normally
+        assert result.strategy == "bounded"
+
+    def test_stats_reports_calls_and_injections(self):
+        injector = FaultInjector(seed=0)
+        injector.configure("site", FaultSpec(fail_every=2))
+        for _ in range(4):
+            try:
+                injector.perturb("site")
+            except TransientFault:
+                pass
+        assert injector.stats() == {"site": {"calls": 4, "injected": 2}}
