@@ -74,6 +74,35 @@ def serving_summary(soak_report: dict) -> dict:
     }
 
 
+def federated_summary(federated_report: dict) -> dict:
+    """The compact scatter/gather summary merged into a trajectory entry.
+
+    Pulls per-workload federated throughput (at the largest measured shard
+    count) out of a ``bench_federated.py`` report, plus the dimensionless
+    federated/single ratio used for cross-host comparisons and the merge
+    statistics worth tracking over time.
+    """
+    federated_qps = {}
+    merge_rows_mean = {}
+    for workload in federated_report.get("workloads", []):
+        if workload.get("federated_qps") is None:
+            continue
+        name = workload["workload"]
+        federated_qps[name] = workload["federated_qps"]
+        top = workload.get("topologies", {})
+        if top:
+            largest = top[max(top, key=int)]
+            merge_rows_mean[name] = largest.get("scatter_gather", {}).get(
+                "merge_rows_mean"
+            )
+    return {
+        "shard_counts": federated_report.get("shard_counts"),
+        "federated_qps": federated_qps,
+        "mean_federated_ratio": federated_report.get("mean_federated_ratio"),
+        "merge_rows_mean": merge_rows_mean,
+    }
+
+
 def entry_from_report(report: dict) -> dict:
     """The compact trajectory entry for one bench report."""
     warm_qps = {
@@ -97,17 +126,20 @@ def entry_from_report(report: dict) -> dict:
     }
 
 
-def regression_ratio(previous: dict, current: dict) -> float | None:
-    """Geometric-mean ratio of current/previous warm throughput (None: no overlap)."""
+def regression_ratio(
+    previous: dict, current: dict, key: str = "warm_qps"
+) -> float | None:
+    """Geometric-mean ratio of current/previous per-workload throughput under
+    ``key`` (``None`` when the entries share no measured workload)."""
     shared = [
         name
-        for name, qps in previous.get("warm_qps", {}).items()
-        if qps and current.get("warm_qps", {}).get(name)
+        for name, qps in previous.get(key, {}).items()
+        if qps and current.get(key, {}).get(name)
     ]
     if not shared:
         return None
     logs = [
-        math.log(current["warm_qps"][name] / previous["warm_qps"][name])
+        math.log(current[key][name] / previous[key][name])
         for name in shared
     ]
     return math.exp(sum(logs) / len(logs))
@@ -126,12 +158,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--serving", type=Path,
                         help="soak report (repro.cli soak --output) whose serving "
                              "metrics join this entry (queue peak, sheds, p50/p99)")
+    parser.add_argument("--federated", type=Path,
+                        help="federated bench report (bench_federated.py --output) "
+                             "whose scatter/gather throughput joins this entry and "
+                             "is gated like the warm-path numbers")
     args = parser.parse_args(argv)
 
     report = json.loads(args.bench.read_text())
     entry = entry_from_report(report)
     if args.serving:
         entry["serving"] = serving_summary(json.loads(args.serving.read_text()))
+    if args.federated:
+        entry["federated"] = federated_summary(json.loads(args.federated.read_text()))
 
     if args.trajectory.exists():
         trajectory = json.loads(args.trajectory.read_text())
@@ -152,30 +190,55 @@ def main(argv: list[str] | None = None) -> int:
     if previous is None:
         print("no previous entry of this mode: nothing to gate against")
         return 0
-    if previous.get("host") == entry["host"]:
-        ratio = regression_ratio(previous, entry)
-        metric = "warm throughput"
+    same_host = previous.get("host") == entry["host"]
+    gates: list[tuple[str, float | None]] = []
+    if same_host:
+        gates.append(("warm throughput", regression_ratio(previous, entry)))
     else:
         # Different hardware: absolute qps is not comparable; gate on the
         # warm/cold speedup ratio, which is machine-independent.
         prev_speedup, cur_speedup = previous.get("mean_speedup"), entry["mean_speedup"]
         ratio = (cur_speedup / prev_speedup) if prev_speedup and cur_speedup else None
-        metric = f"warm/cold speedup (cross-host vs {previous.get('host')})"
-    if ratio is None:
-        print("no comparable metric with the previous entry: gate skipped")
-        return 0
-    print(
-        f"{metric} vs previous run ({previous.get('commit')}): "
-        f"{ratio:.2f}x (gate: >= {1 - args.threshold:.2f}x)"
-    )
-    if not args.no_gate and ratio < 1 - args.threshold:
+        gates.append((f"warm/cold speedup (cross-host vs {previous.get('host')})", ratio))
+    if "federated" in entry and "federated" in previous:
+        if same_host:
+            gates.append((
+                "federated throughput",
+                regression_ratio(
+                    previous["federated"], entry["federated"], key="federated_qps"
+                ),
+            ))
+        else:
+            # Cross-host fallback for the federation: the federated/single
+            # ratio is dimensionless, like the warm/cold speedup.
+            prev_ratio = previous["federated"].get("mean_federated_ratio")
+            cur_ratio = entry["federated"].get("mean_federated_ratio")
+            gates.append((
+                "federated/single ratio (cross-host)",
+                (cur_ratio / prev_ratio) if prev_ratio and cur_ratio else None,
+            ))
+
+    failed = False
+    compared = False
+    for metric, ratio in gates:
+        if ratio is None:
+            print(f"{metric}: no comparable number with the previous entry")
+            continue
+        compared = True
         print(
-            f"FAIL: {metric} regressed more than "
-            f"{args.threshold:.0%} vs the previous recorded run",
-            file=sys.stderr,
+            f"{metric} vs previous run ({previous.get('commit')}): "
+            f"{ratio:.2f}x (gate: >= {1 - args.threshold:.2f}x)"
         )
-        return 1
-    return 0
+        if not args.no_gate and ratio < 1 - args.threshold:
+            print(
+                f"FAIL: {metric} regressed more than "
+                f"{args.threshold:.0%} vs the previous recorded run",
+                file=sys.stderr,
+            )
+            failed = True
+    if not compared:
+        print("no comparable metric with the previous entry: gate skipped")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -119,31 +119,124 @@ class SQLiteBackend:
         """Execute the original RA query over the base tables (the DBMS baseline)."""
         return self.run_sql(query_to_sql(query))
 
+    def fetch_index(
+        self,
+        constraint: AccessConstraint,
+        keys: Iterable[Sequence],
+        *,
+        base_relation: str | None = None,
+    ) -> frozenset[tuple]:
+        """``fetch(X ∈ keys, R, Y)`` over the index table of ``constraint``.
+
+        Returns the distinct index rows (aligned with ``sorted(lhs | rhs)``)
+        matching any of the given ``X``-values — the per-shard half of a
+        federated scatter/gather fetch (see :mod:`repro.sharding`).  A
+        constraint with an empty LHS returns the whole index table.
+        """
+        table = index_table_name(constraint, base_relation)
+        if table not in self._index_constraints:
+            raise StorageError(
+                f"index table {table!r} has not been created; call "
+                "create_index_tables() with the plan's access schema first"
+            )
+        cursor = self.connection.cursor()
+        columns = sorted(constraint.lhs | constraint.rhs)
+        select_list = ", ".join(quote_identifier(c) for c in columns)
+        rows: set[tuple] = set()
+        lhs = sorted(constraint.lhs)
+        if not lhs:
+            cursor.execute(f"SELECT DISTINCT {select_list} FROM {quote_identifier(table)}")
+            rows.update(tuple(r) for r in cursor.fetchall())
+            return frozenset(rows)
+        conditions = " AND ".join(f"{quote_identifier(c)} = ?" for c in lhs)
+        sql = (
+            f"SELECT DISTINCT {select_list} FROM {quote_identifier(table)} "
+            f"WHERE {conditions}"
+        )
+        for key in keys:
+            cursor.execute(sql, tuple(key))
+            rows.update(tuple(r) for r in cursor.fetchall())
+        return frozenset(rows)
+
     # -- maintenance ---------------------------------------------------------------------
     def apply_insert(self, relation: str, row: Sequence) -> None:
-        """Insert a tuple into a base table and refresh affected index tables."""
+        """Insert a tuple into a base table and refresh affected index tables.
+
+        Base tables mirror the set semantics of
+        :class:`~repro.storage.relation.RelationInstance`: re-inserting a row
+        that is already present is a no-op, exactly like the index-table path
+        below — an unconditional ``INSERT`` would duplicate the row in SQLite
+        while the mirrored :class:`~repro.storage.database.Database` keeps one
+        copy, skewing conventional-baseline timings and any ``COUNT``.
+        """
         schema = self.database.schema[relation]
         cursor = self.connection.cursor()
+        values = tuple(row)
+        base_conditions = " AND ".join(
+            f"{quote_identifier(a)} = ?" for a in schema.attributes
+        )
+        cursor.execute(
+            f"SELECT 1 FROM {quote_identifier(relation)} WHERE {base_conditions} LIMIT 1",
+            values,
+        )
+        if cursor.fetchone() is not None:
+            return
         placeholders = ", ".join("?" for _ in schema.attributes)
         cursor.execute(
-            f"INSERT INTO {quote_identifier(relation)} VALUES ({placeholders})", tuple(row)
+            f"INSERT INTO {quote_identifier(relation)} VALUES ({placeholders})", values
         )
         for table, constraint in self._index_constraints.items():
             if constraint.relation != relation:
                 continue
             columns = sorted(constraint.lhs | constraint.rhs)
             positions = schema.positions(columns)
-            values = tuple(tuple(row)[p] for p in positions)
+            projected = tuple(values[p] for p in positions)
             column_list = ", ".join(quote_identifier(c) for c in columns)
             conditions = " AND ".join(f"{quote_identifier(c)} = ?" for c in columns)
             cursor.execute(
-                f"SELECT 1 FROM {quote_identifier(table)} WHERE {conditions}", values
+                f"SELECT 1 FROM {quote_identifier(table)} WHERE {conditions}", projected
             )
             if cursor.fetchone() is None:
                 placeholders = ", ".join("?" for _ in columns)
                 cursor.execute(
                     f"INSERT INTO {quote_identifier(table)} ({column_list}) VALUES ({placeholders})",
-                    values,
+                    projected,
+                )
+        self.connection.commit()
+
+    def apply_delete(self, relation: str, row: Sequence) -> None:
+        """Delete a tuple from a base table and refresh affected index tables.
+
+        The counterpart :meth:`apply_insert` always had — without it, a
+        delete routed through the engine left the SQLite mirror silently
+        drifted from the :class:`~repro.storage.database.Database`.  An index
+        row ``π_XY(t)`` is dropped only when no *remaining* base row still
+        projects to it (several base rows can share one index row when the
+        constraint's attributes are a proper subset of the relation's).
+        """
+        schema = self.database.schema[relation]
+        cursor = self.connection.cursor()
+        values = tuple(row)
+        base_conditions = " AND ".join(
+            f"{quote_identifier(a)} = ?" for a in schema.attributes
+        )
+        cursor.execute(
+            f"DELETE FROM {quote_identifier(relation)} WHERE {base_conditions}", values
+        )
+        for table, constraint in self._index_constraints.items():
+            if constraint.relation != relation:
+                continue
+            columns = sorted(constraint.lhs | constraint.rhs)
+            positions = schema.positions(columns)
+            projected = tuple(values[p] for p in positions)
+            conditions = " AND ".join(f"{quote_identifier(c)} = ?" for c in columns)
+            cursor.execute(
+                f"SELECT 1 FROM {quote_identifier(relation)} WHERE {conditions} LIMIT 1",
+                projected,
+            )
+            if cursor.fetchone() is None:
+                cursor.execute(
+                    f"DELETE FROM {quote_identifier(table)} WHERE {conditions}", projected
                 )
         self.connection.commit()
 

@@ -200,6 +200,7 @@ def command_soak(args) -> int:
         workload=args.workload,
         scale=args.scale,
         seed=args.seed,
+        shards=args.shards,
         requests=args.requests,
         write_ratio=args.write_ratio,
         faults=not args.no_faults,
@@ -213,7 +214,8 @@ def command_soak(args) -> int:
     outcome = report["outcome"]
     serving = report["server"]["serving"]
     print(
-        f"-- soak {args.workload} scale={args.scale} seed={args.seed}: "
+        f"-- soak {args.workload} scale={args.scale} seed={args.seed}"
+        f"{f' shards={args.shards}' if args.shards > 1 else ''}: "
         f"{outcome['reads_served']} reads served "
         f"({outcome['reads_verified']} verified vs reference), "
         f"{outcome['writes_ok']} write batches ok, "
@@ -226,6 +228,18 @@ def command_soak(args) -> int:
         f"covered p99 {report['covered_p99_ms']:.2f}ms | "
         f"breaker opened {report['server']['breaker']['times_opened']}x"
     )
+    if "router" in report:
+        scatter = report["router"]["scatter_gather"]
+        shards_line = ", ".join(
+            f"{s['name']}({s['tuples']})" for s in report["router"]["shards"]
+        )
+        print(
+            f"-- federation: {shards_line} | scatters={scatter['scatters']} "
+            f"(routed={scatter['routed']} broadcast={scatter['broadcasts']}) | "
+            f"merge rows mean {scatter['merge_rows_mean']:.1f} "
+            f"max {scatter['merge_rows_max']} | "
+            f"snapshot retries {scatter['snapshot_retries']}"
+        )
     for check, ok in sorted(report["checks"].items()):
         print(f"-- {'PASS' if ok else 'FAIL'} {check}")
     print(f"-- soak {'PASSED' if report['passed'] else 'FAILED'}")
@@ -285,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "evaluator. Exits 0 only if every robustness check holds.",
     )
     _add_source_arguments(soak)
+    soak.add_argument("--shards", type=int, default=1,
+                      help="serve through a federated router over N heterogeneous "
+                           "shards (memory/SQLite alternating); disables fault "
+                           "injection (default 1: single engine)")
     soak.add_argument("--requests", type=int, default=200,
                       help="mixed-traffic requests before the overload/deadline phases")
     soak.add_argument("--write-ratio", type=float, default=0.2,

@@ -131,6 +131,55 @@ class PreparedQuery:
         return self.plan is not None
 
 
+def prepare_query(
+    query: Query,
+    access_schema: AccessSchema,
+    *,
+    minimize: bool = True,
+    allow_rewrite: bool = True,
+    optimize: bool = True,
+) -> PreparedQuery:
+    """The C2–C4 pipeline as a pure function of (query, access schema).
+
+    Runs coverage checking, covered rewriting, access minimization, plan
+    generation and peephole optimization — everything a
+    :class:`PreparedQuery` holds.  Shared by :class:`BoundedEngine` and the
+    federated :class:`~repro.sharding.router.ShardRouter`, which prepare
+    against the same access schema but execute on different substrates; both
+    cache the output in a :class:`~repro.core.planstore.PlanStore` under
+    :func:`~repro.core.fingerprint.prepared_cache_key`.
+    """
+    target = query
+    rewrite_name = "identity"
+    coverage = check_coverage(query, access_schema)
+    if not coverage.is_covered and allow_rewrite:
+        verdict = find_covered_rewrite(query, access_schema)
+        if verdict.bounded and verdict.witness is not None:
+            target = verdict.witness
+            rewrite_name = verdict.rewrite
+            coverage = check_coverage(target, access_schema)
+
+    if not coverage.is_covered:
+        return PreparedQuery(coverage=coverage)
+
+    minimization: MinimizationResult | None = None
+    effective_coverage = coverage
+    if minimize:
+        minimization = minimize_auto(target, access_schema)
+        effective_coverage = check_coverage(target, minimization.selected)
+    plan = generate_plan(effective_coverage)
+    executable = optimize_plan(plan) if optimize else plan
+    return PreparedQuery(
+        coverage=effective_coverage,
+        plan=plan,
+        executable=executable,
+        minimization=minimization,
+        rewrite=rewrite_name,
+        target=target,
+        dependencies=executable.dependency_relations(),
+    )
+
+
 class BoundedEngine:
     """Bounded evaluation of RA queries over an in-memory database.
 
@@ -189,6 +238,17 @@ class BoundedEngine:
         #: function, so faults hit only this engine instance.
         self._fallback_evaluator = evaluate_conventional
 
+    @property
+    def clock(self):
+        """The database's :class:`~repro.storage.counters.VersionClock`.
+
+        The serving tier validates lock-free reads against this clock; the
+        property is the seam that lets a :class:`~repro.sharding.router.
+        ShardRouter` (which has no single database, only a router-level
+        clock) stand in for an engine behind the same interface.
+        """
+        return self.database.clock
+
     # -- C2: coverage -----------------------------------------------------------
     def check(self, query: Query) -> CoverageResult:
         """Run ``CovChk`` on ``query`` against the engine's access schema."""
@@ -234,34 +294,12 @@ class BoundedEngine:
 
     def _prepare(self, query: Query, *, minimize: bool, allow_rewrite: bool) -> PreparedQuery:
         """Run coverage, rewriting, minimization, planning and optimization."""
-        target = query
-        rewrite_name = "identity"
-        coverage = self.check(query)
-        if not coverage.is_covered and allow_rewrite:
-            verdict = find_covered_rewrite(query, self.access_schema)
-            if verdict.bounded and verdict.witness is not None:
-                target = verdict.witness
-                rewrite_name = verdict.rewrite
-                coverage = self.check(target)
-
-        if not coverage.is_covered:
-            return PreparedQuery(coverage=coverage)
-
-        minimization: MinimizationResult | None = None
-        effective_coverage = coverage
-        if minimize:
-            minimization = minimize_auto(target, self.access_schema)
-            effective_coverage = check_coverage(target, minimization.selected)
-        plan = generate_plan(effective_coverage)
-        executable = optimize_plan(plan) if self.optimize else plan
-        return PreparedQuery(
-            coverage=effective_coverage,
-            plan=plan,
-            executable=executable,
-            minimization=minimization,
-            rewrite=rewrite_name,
-            target=target,
-            dependencies=executable.dependency_relations(),
+        return prepare_query(
+            query,
+            self.access_schema,
+            minimize=minimize,
+            allow_rewrite=allow_rewrite,
+            optimize=self.optimize,
         )
 
     def prepare(

@@ -130,6 +130,13 @@ class ServeResponse:
 class BoundedServer:
     """Concurrent request serving over one :class:`BoundedEngine`.
 
+    ``engine`` may be any object with the engine's serving surface —
+    ``prepare`` / ``execute`` / ``apply_updates`` / ``cache_stats`` /
+    ``clock`` / ``fallback_breaker``; in particular a
+    :class:`~repro.sharding.router.ShardRouter` drops in unchanged, putting
+    the whole admission/retry/degradation machinery in front of a federated
+    shard topology.
+
     All engine calls run on the event-loop thread (the engine is not
     thread-safe); concurrency comes from interleaving requests at await
     points, which is exactly where the robustness machinery lives: queueing,
@@ -377,7 +384,7 @@ class BoundedServer:
             prepared, _ = self.engine.prepare(query)
             if prepared.covered:
                 deps = prepared.dependencies
-        clock = self.engine.database.clock
+        clock = self.engine.clock
         started = self.clock()
         snapshot = clock.snapshot(deps)
         result = self.engine.execute(query, fallback=fallback)

@@ -53,11 +53,22 @@ from .server import BoundedServer, ReadRequest, ServerConfig, WriteRequest
 
 @dataclass
 class SoakConfig:
-    """One soak run, fully determined by ``seed``."""
+    """One soak run, fully determined by ``seed``.
+
+    ``shards > 1`` serves through a federated
+    :class:`~repro.sharding.router.ShardRouter` over a heterogeneous
+    (memory/SQLite alternating) shard topology instead of a single engine.
+    Fault injection is disabled in sharded mode: the injector's seams are
+    engine-internal, and a partially-failed routed batch would leave the
+    reference mirror ambiguous — the sharded soak's job is the federation
+    contract (row-identity with the single-database reference, epoch-clean
+    merges), not chaos tolerance, which the single-engine soak keeps owning.
+    """
 
     workload: str = "AIRCA"
     scale: int = 120
     seed: int = 0
+    shards: int = 1
     requests: int = 200
     write_ratio: float = 0.2
     covered_queries: int = 8
@@ -150,7 +161,36 @@ def run_soak(config: SoakConfig) -> dict:
         )
     workload = WORKLOADS[config.workload]
     database = workload.database(scale=config.scale, seed=config.seed)
-    engine = BoundedEngine(database, workload.access_schema, check_constraints=False)
+    sharded = config.shards > 1
+    faults_active = config.faults and not sharded
+    if sharded:
+        from ..sharding import build_topology
+
+        # ``database`` stays behind as the single-database *reference*: the
+        # topology owns disjoint fragment copies, and the router's
+        # write_observer mirrors every fully-applied routed batch back into
+        # the reference — synchronously, inside the serving tier's no-await
+        # write window — so ``post_check``'s reference evaluation and the
+        # write stream's row sampling always see exactly the federation's
+        # state.  Row-for-row identity of served reads against this
+        # reference is the federated acceptance criterion.
+        def _mirror(updates) -> None:
+            for update in updates:
+                instance = database.relation(update.relation)
+                prepared = instance.prepare(update.row)
+                if update.kind == "insert":
+                    instance.insert(prepared)
+                else:
+                    instance.delete(prepared)
+
+        engine = build_topology(
+            database,
+            workload.access_schema,
+            shards=config.shards,
+            write_observer=_mirror,
+        )
+    else:
+        engine = BoundedEngine(database, workload.access_schema, check_constraints=False)
 
     covered = select_covered_queries(
         workload, count=config.covered_queries, seed=config.seed, database=database
@@ -185,7 +225,7 @@ def run_soak(config: SoakConfig) -> dict:
             )
 
     injector = FaultInjector(seed=config.seed)
-    if config.faults:
+    if faults_active:
         injector.configure(
             "executor",
             FaultSpec(
@@ -301,7 +341,7 @@ def run_soak(config: SoakConfig) -> dict:
         "deadline_enforced": outcome.shed_deadline > 0,
         "reads_verified": outcome.reads_verified > 0 or not config.verify,
     }
-    if config.faults:
+    if faults_active:
         checks.update(
             {
                 "breaker_opened": stats["breaker"]["times_opened"] > 0,
@@ -312,15 +352,33 @@ def run_soak(config: SoakConfig) -> dict:
                 "partial_write_batches_surfaced": outcome.writes_partial > 0,
             }
         )
+    report_extra: dict = {}
+    if sharded:
+        router_stats = engine.stats()
+        scatter = router_stats["scatter_gather"]
+        checks.update(
+            {
+                # Every served read already row-matched the single-database
+                # reference (no_result_mismatches); these pin the federation
+                # mechanics: fetches actually scattered, every merge stayed
+                # within one epoch per shard, and writes routed in batches.
+                "federation_scattered": scatter["scatters"] > 0,
+                "no_mixed_epoch_merges": scatter["mixed_epoch_aborts"] == 0,
+                "writes_routed": scatter["write_batches"] > 0,
+            }
+        )
+        report_extra["router"] = router_stats
     return {
         "config": {
             "workload": config.workload,
             "scale": config.scale,
             "seed": config.seed,
+            "shards": config.shards,
             "requests": config.requests,
-            "faults": config.faults,
+            "faults": faults_active,
             "verify": config.verify,
         },
+        **report_extra,
         "outcome": {
             "reads_served": outcome.reads_served,
             "reads_verified": outcome.reads_verified,

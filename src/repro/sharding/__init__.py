@@ -1,0 +1,26 @@
+"""Sharded, federated bounded evaluation (ROADMAP item 1).
+
+Partition a database across heterogeneous shards (in-memory engines and
+SQLite mirrors), scatter the fetch steps of covered bounded plans to the
+owning shards, and merge the bounded partials centrally under per-shard
+epoch validation.  See :mod:`repro.sharding.router` for the soundness
+argument and :mod:`repro.sharding.partition` for the partitioning schemes.
+"""
+
+from .partition import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from .router import FederatedExecutor, RouterMetrics, ShardRouter, build_topology
+from .shards import EngineShard, Shard, SQLiteShard
+
+__all__ = [
+    "EngineShard",
+    "FederatedExecutor",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "RouterMetrics",
+    "Shard",
+    "ShardRouter",
+    "SQLiteShard",
+    "build_topology",
+    "stable_hash",
+]

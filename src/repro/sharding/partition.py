@@ -1,0 +1,186 @@
+"""Hash and range partitioning of relations across shards.
+
+A partitioner assigns every tuple of every relation to exactly one shard,
+keyed on one *partition attribute* per relation (the first attribute of the
+relation schema unless overridden).  Two schemes are provided:
+
+* :class:`HashPartitioner` — ``shard = stable_hash(key) % n``; spreads any
+  key distribution evenly and needs no knowledge of the data.
+* :class:`RangePartitioner` — per-relation sorted cut points; shard ``i``
+  owns keys in ``[boundary[i-1], boundary[i])``, i.e. a boundary value is
+  the *inclusive lower bound* of the shard to its right.  Built either from
+  explicit boundaries or from observed data quantiles
+  (:meth:`RangePartitioner.from_database`).
+
+Hashing must be deterministic across processes (Python's ``hash`` of
+strings is salted per interpreter), so keys are hashed via CRC-32 of their
+``repr``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Iterable, Mapping, Sequence
+
+from ..core.errors import StorageError
+from ..core.schema import DatabaseSchema
+from ..storage.database import Database
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent hash of a partition-key value."""
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class Partitioner:
+    """Base class: per-relation key attributes + the shard assignment rule."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        shard_count: int,
+        keys: Mapping[str, str] | None = None,
+    ):
+        if shard_count < 1:
+            raise StorageError(f"shard count must be >= 1, got {shard_count}")
+        self.schema = schema
+        self.shard_count = shard_count
+        self._attributes: dict[str, str] = {}
+        self._positions: dict[str, int] = {}
+        overrides = dict(keys or {})
+        for relation in schema:
+            attribute = overrides.pop(relation.name, relation.attributes[0])
+            if attribute not in relation.attributes:
+                raise StorageError(
+                    f"partition key {attribute!r} is not an attribute of "
+                    f"relation {relation.name!r}"
+                )
+            self._attributes[relation.name] = attribute
+            self._positions[relation.name] = relation.position(attribute)
+        if overrides:
+            raise StorageError(
+                f"partition keys given for unknown relations {sorted(overrides)}"
+            )
+
+    # -- assignment ---------------------------------------------------------------
+    def attribute(self, relation: str) -> str:
+        """The partition attribute of ``relation``."""
+        try:
+            return self._attributes[relation]
+        except KeyError:
+            raise StorageError(f"no partitioning defined for relation {relation!r}") from None
+
+    def shard_for_value(self, relation: str, value: object) -> int:
+        """The shard owning rows of ``relation`` whose key attribute equals ``value``."""
+        raise NotImplementedError
+
+    def shard_for_row(self, relation: str, row: Sequence) -> int:
+        """The shard owning ``row`` of ``relation`` (positional tuple)."""
+        return self.shard_for_value(relation, tuple(row)[self._positions[relation]])
+
+    # -- bulk splitting ---------------------------------------------------------------
+    def partition(self, database: Database) -> list[Database]:
+        """Split ``database`` into ``shard_count`` disjoint fragment databases.
+
+        The input database is left untouched; each fragment holds exactly the
+        rows this partitioner assigns to its shard, so the union of the
+        fragments is the original data and no row appears twice.
+        """
+        fragments = [Database(self.schema) for _ in range(self.shard_count)]
+        for relation in database:
+            name = relation.schema.name
+            buckets: list[list[tuple]] = [[] for _ in range(self.shard_count)]
+            for row in relation:
+                buckets[self.shard_for_row(name, row)].append(row)
+            for fragment, rows in zip(fragments, buckets):
+                if rows:
+                    fragment.insert_many(name, rows)
+        return fragments
+
+
+class HashPartitioner(Partitioner):
+    """``shard = stable_hash(key) % shard_count`` — even, data-oblivious spread."""
+
+    def shard_for_value(self, relation: str, value: object) -> int:
+        return stable_hash(value) % self.shard_count
+
+
+class RangePartitioner(Partitioner):
+    """Per-relation sorted boundaries; a boundary opens the shard to its right.
+
+    ``boundaries[relation]`` holds ``shard_count - 1`` sorted cut points:
+    keys strictly below ``boundaries[0]`` go to shard 0, keys in
+    ``[boundaries[i-1], boundaries[i])`` to shard ``i``, and keys at or above
+    the last boundary to the last shard.  A key exactly equal to a boundary
+    therefore belongs to the *upper* shard — the partition-boundary
+    convention the router tests pin down.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        shard_count: int,
+        boundaries: Mapping[str, Sequence],
+        keys: Mapping[str, str] | None = None,
+    ):
+        super().__init__(schema, shard_count, keys)
+        self._boundaries: dict[str, tuple] = {}
+        for relation, cuts in boundaries.items():
+            ordered = tuple(cuts)
+            if list(ordered) != sorted(ordered):
+                raise StorageError(
+                    f"range boundaries for {relation!r} must be sorted, got {ordered}"
+                )
+            if len(ordered) != shard_count - 1:
+                raise StorageError(
+                    f"range partitioning over {shard_count} shards needs "
+                    f"{shard_count - 1} boundaries for {relation!r}, got {len(ordered)}"
+                )
+            self._boundaries[relation] = ordered
+
+    def shard_for_value(self, relation: str, value: object) -> int:
+        try:
+            cuts = self._boundaries[relation]
+        except KeyError:
+            raise StorageError(
+                f"no range boundaries defined for relation {relation!r}"
+            ) from None
+        return bisect_right(cuts, value)
+
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        shard_count: int,
+        keys: Mapping[str, str] | None = None,
+    ) -> "RangePartitioner":
+        """Derive quantile cut points from the observed key values.
+
+        Each relation's distinct key values are sorted and cut into
+        ``shard_count`` even slices; relations with fewer distinct values
+        than shards get degenerate (repeated-free, possibly short-ranged)
+        boundaries that park all rows on the low shards.
+        """
+        partitioner = cls.__new__(cls)
+        Partitioner.__init__(partitioner, database.schema, shard_count, keys)
+        partitioner._boundaries = {}
+        for relation in database:
+            name = relation.schema.name
+            position = partitioner._positions[name]
+            values = sorted({row[position] for row in relation})
+            cuts = []
+            for i in range(1, shard_count):
+                if not values:
+                    break
+                index = min(len(values) - 1, (i * len(values)) // shard_count)
+                cuts.append(values[index])
+            # A short or duplicate-ridden cut list breaks the sorted/length
+            # contract; pad with the maximum so the upper shards sit empty.
+            while len(cuts) < shard_count - 1:
+                cuts.append(values[-1] if values else 0)
+            deduped: list = []
+            for cut in cuts:
+                deduped.append(max(cut, deduped[-1]) if deduped else cut)
+            partitioner._boundaries[name] = tuple(deduped)
+        return partitioner

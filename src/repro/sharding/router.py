@@ -1,0 +1,602 @@
+"""Federated scatter/gather execution of bounded plans over shards.
+
+:class:`ShardRouter` answers covered queries against data partitioned across
+N heterogeneous shards (:mod:`repro.sharding.shards`) while keeping the
+paper's guarantee intact: a covered query's cost is capped by
+``access_bound()`` *regardless of how the data is distributed*, because only
+**fetch steps** are scattered.  The soundness argument, and the reason whole
+plans are *not* pushed to shards:
+
+* For a fetch ``fetch(X ∈ keys, R, Y)``, the constraint-index content of the
+  whole database is exactly the union of the per-fragment index contents
+  (projection commutes with union), so fetching from every owning shard and
+  unioning the partials *is* the single-database fetch.
+* A join, by contrast, can pair a tuple on shard 0 with a tuple on shard 2;
+  running the join per-shard and unioning would silently lose every
+  cross-shard pair.  So joins, selections, projections, unions and
+  differences all run **centrally** at the router, over the merged (and
+  still bounded, ≤ ``access_bound()``) fetch results.
+
+This is the decomposition of cubicweb's multi-source planner — steps
+assigned to sources, results recombined — specialised to bounded plans,
+where the split is trivial to place: fetches go out, algebra stays home.
+
+When the fetch key includes the relation's partition attribute, the router
+prunes the scatter to each key's single owning shard; otherwise it
+broadcasts the key set to all shards.  Merges are epoch-guarded: every
+shard's :class:`~repro.storage.counters.VersionClock` is snapshotted before
+execution and re-validated after, so a merge never combines partials from
+different epochs of the same shard — a racing write forces a bounded retry
+and, if the race persists, a typed
+:class:`~repro.core.errors.TransientFault` (never a silently torn result).
+
+The router duck-types :class:`~repro.core.engine.BoundedEngine`'s serving
+surface (``prepare`` / ``execute`` / ``apply_updates`` / ``cache_stats`` /
+``clock`` / ``fallback_breaker``), so :class:`~repro.serving.server.
+BoundedServer` can sit on top of a federation without changes beyond the
+``engine.clock`` seam.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..core.access import AccessSchema
+from ..core.engine import EngineResult, PreparedQuery, prepare_query
+from ..core.errors import (
+    CircuitOpenError,
+    MaintenanceError,
+    NotCoveredError,
+    StorageError,
+    TransientFault,
+)
+from ..core.fingerprint import prepared_cache_key
+from ..core.plan import BoundedPlan, FetchOp, PlanStep
+from ..core.planstore import PlanStore, ResultCache
+from ..core.query import Query
+from ..evaluator.baseline import evaluate_conventional
+from ..evaluator.executor import (
+    PlanExecutor,
+    _column_positions,
+    _position_of,
+)
+from ..serving.metrics import LatencyRecorder
+from ..storage.counters import AccessCounter, VersionClock
+from ..storage.database import Database
+from ..storage.index import IndexSet
+from .partition import HashPartitioner, Partitioner
+from .shards import EngineShard, Shard, SQLiteShard
+
+Row = tuple
+
+
+class RouterMetrics:
+    """Scatter/gather observability: per-shard latency, merges, retries."""
+
+    def __init__(self):
+        #: federated fetch steps executed (one per FetchOp kernel run)
+        self.scatters = 0
+        #: per-shard fetch calls issued (≤ scatters × shard count)
+        self.shard_fetches = 0
+        #: scatters routed to owning shards only (partition-key pruning)
+        self.routed = 0
+        #: scatters sent to every shard (key does not include partition attr)
+        self.broadcasts = 0
+        #: merged-union sizes, aggregated
+        self.merges = 0
+        self.merge_rows = 0
+        self.merge_rows_max = 0
+        #: executions re-run because a shard epoch moved mid-merge
+        self.snapshot_retries = 0
+        #: executions abandoned after exhausting snapshot retries
+        self.mixed_epoch_aborts = 0
+        #: write batches routed through the shards
+        self.write_batches = 0
+        self.latency = LatencyRecorder()
+
+    def observe_merge(self, size: int) -> None:
+        self.merges += 1
+        self.merge_rows += size
+        self.merge_rows_max = max(self.merge_rows_max, size)
+
+    def snapshot(self) -> dict:
+        """Everything, JSON-ready — joins the soak report and bench trajectory."""
+        return {
+            "scatters": self.scatters,
+            "shard_fetches": self.shard_fetches,
+            "routed": self.routed,
+            "broadcasts": self.broadcasts,
+            "merges": self.merges,
+            "merge_rows": self.merge_rows,
+            "merge_rows_max": self.merge_rows_max,
+            "merge_rows_mean": (self.merge_rows / self.merges) if self.merges else 0.0,
+            "snapshot_retries": self.snapshot_retries,
+            "mixed_epoch_aborts": self.mixed_epoch_aborts,
+            "write_batches": self.write_batches,
+            "shard_latency": self.latency.snapshot(),
+        }
+
+
+class FederatedExecutor(PlanExecutor):
+    """A :class:`PlanExecutor` whose fetch kernels scatter across shards.
+
+    Every non-fetch kernel is inherited unchanged — the compiled plan's
+    joins, selections and set operations run centrally over the merged
+    partials, exactly as they would over a single database.  Only
+    ``_compile_fetch`` is replaced: instead of closing over one
+    :class:`~repro.storage.index.ConstraintIndex`, the kernel computes the
+    step's distinct keys and hands them to the router's scatter/gather.
+    """
+
+    def __init__(self, router: "ShardRouter"):
+        # No local database or indexes: fetches never touch them, and no
+        # other kernel reads ``self.database``.
+        super().__init__(None, IndexSet())  # type: ignore[arg-type]
+        self.router = router
+
+    def _compile_fetch(
+        self, plan: BoundedPlan, step: PlanStep, source_columns: tuple[str, ...]
+    ) -> tuple[Callable, tuple[str, ...]]:
+        op: FetchOp = step.op  # type: ignore[assignment]
+        constraint = op.constraint
+        base = plan.occurrences.get(constraint.relation, constraint.relation)
+        positions = _column_positions(source_columns)
+        key_positions = tuple(_position_of(positions, c, step) for c in op.key_columns)
+        source = op.inputs[0]
+        # Fetch keys are aligned with sorted(lhs); when the partition
+        # attribute is part of the key, each key names its owning shard and
+        # the scatter is pruned to it.  (Constraint attributes are base
+        # attribute names even for renamed occurrences — only relation names
+        # are actualized.)
+        lhs = sorted(constraint.lhs)
+        partition_attribute = self.router.partitioner.attribute(base)
+        routed_position = (
+            lhs.index(partition_attribute) if partition_attribute in lhs else None
+        )
+        router = self.router
+
+        def fetch_kernel(
+            env, counter, _src=source, _kp=key_positions, _rp=routed_position
+        ):
+            keys: set[Row] = set()
+            for row in env[_src]:
+                keys.add(tuple(row[p] for p in _kp))
+            return router._scatter_fetch(constraint, base, keys, _rp, counter)
+
+        # Index tuples are aligned with sorted(lhs | rhs); so are the step's columns.
+        return fetch_kernel, step.columns
+
+
+class ShardRouter:
+    """Routes covered queries and writes over a partitioned shard federation.
+
+    ``shards`` and ``partitioner`` must agree on the shard count; the
+    partitioner decides which shard owns each row (and, for pruned fetches,
+    each key).  ``plan_store`` may be shared with the engine shards — C2–C4
+    output depends only on (query, access schema), so one store serves the
+    whole federation.  The result cache is router-level, keyed by the
+    concatenated per-shard snapshots of the plan's dependencies, so a cached
+    federated result is served only while *no* shard has written a dependent
+    relation.
+
+    ``write_observer``, when set, is called with every routed update batch
+    after it fully applies — the seam the sharded soak uses to keep its
+    single-database reference in lockstep with the federation.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        partitioner: Partitioner,
+        access_schema: AccessSchema,
+        *,
+        plan_store: PlanStore | None = None,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 256,
+        max_snapshot_retries: int = 2,
+        optimize: bool = True,
+        fallback_breaker: object | None = None,
+        write_observer: Callable[[list], None] | None = None,
+    ):
+        if not shards:
+            raise StorageError("a shard router needs at least one shard")
+        if len(shards) != partitioner.shard_count:
+            raise StorageError(
+                f"partitioner is configured for {partitioner.shard_count} shards "
+                f"but {len(shards)} were given"
+            )
+        self.shards = list(shards)
+        self.partitioner = partitioner
+        self.access_schema = access_schema
+        self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        #: router-level clock: one bump per routed write batch.  The serving
+        #: tier's lock-free read validation runs against this clock (the
+        #: ``engine.clock`` seam); per-shard clocks guard the merges.
+        self.clock = VersionClock()
+        self.optimize = optimize
+        self.max_snapshot_retries = max_snapshot_retries
+        self.fallback_breaker = fallback_breaker
+        self.write_observer = write_observer
+        self.metrics = RouterMetrics()
+        self._executor = FederatedExecutor(self)
+        #: the conventional-evaluation seam, same as the engine's (tests and
+        #: the fault injector wrap the attribute, not the module function).
+        self._fallback_evaluator = evaluate_conventional
+
+    # -- preparation (C2-C4, shared with BoundedEngine) -----------------------------
+    def _cache_key(self, query: Query, minimize: bool, allow_rewrite: bool) -> Hashable:
+        return prepared_cache_key(
+            query,
+            minimize=minimize,
+            allow_rewrite=allow_rewrite,
+            optimize=self.optimize,
+        )
+
+    def prepare(
+        self, query: Query, *, minimize: bool = True, allow_rewrite: bool = True
+    ) -> tuple[PreparedQuery, bool]:
+        """The cached C2-C4 pipeline; returns ``(prepared, was_cache_hit)``."""
+        _, entry, hit = self._prepare_keyed(query, minimize, allow_rewrite)
+        return entry, hit
+
+    def _prepare_keyed(
+        self, query: Query, minimize: bool, allow_rewrite: bool
+    ) -> tuple[Hashable, PreparedQuery, bool]:
+        key = self._cache_key(query, minimize, allow_rewrite)
+        entry = self.plan_cache.get(key)
+        if entry is not None:
+            return key, entry, True
+        entry = prepare_query(
+            query,
+            self.access_schema,
+            minimize=minimize,
+            allow_rewrite=allow_rewrite,
+            optimize=self.optimize,
+        )
+        evicted = self.plan_cache.put(key, entry, dependencies=entry.dependencies)
+        self._discard_compiled(evicted)
+        return key, entry, False
+
+    def _discard_compiled(self, entries: Iterable[object]) -> None:
+        for entry in entries:
+            executable = getattr(entry, "executable", None)
+            if executable is not None:
+                self._executor.discard(executable)
+
+    # -- execution (scatter/gather, epoch-guarded) ----------------------------------
+    def execute(
+        self,
+        query: Query,
+        *,
+        minimize: bool = True,
+        allow_rewrite: bool = True,
+        fallback: bool = True,
+    ) -> EngineResult:
+        """Answer ``query`` over the federation; bounded scatter/gather when covered.
+
+        Covered queries execute the optimized plan on the federated executor:
+        fetches scatter to the owning shards, everything else runs centrally.
+        Each attempt snapshots every shard's clock over the plan's dependent
+        relations first and validates the snapshots after the merge — a
+        racing write invalidates the attempt (counted as a snapshot retry)
+        and the execution re-runs against the new epoch, up to
+        ``max_snapshot_retries`` times before raising
+        :class:`~repro.core.errors.TransientFault`.  A merge therefore never
+        mixes epochs.  Uncovered queries fall back to conventional
+        evaluation over a gathered copy of their relations (breaker-gated,
+        like the engine's fallback).
+        """
+        key, prepared, cached = self._prepare_keyed(query, minimize, allow_rewrite)
+
+        if prepared.covered:
+            dependencies = prepared.dependencies
+            for _attempt in range(self.max_snapshot_retries + 1):
+                parts = [shard.snapshot(dependencies) for shard in self.shards]
+                federated = tuple(v for part in parts for v in part)
+                hit = self.result_cache.get(key, federated)
+                if hit is not None:
+                    return EngineResult(
+                        rows=hit.rows,
+                        columns=hit.columns,
+                        strategy="bounded",
+                        elapsed=0.0,
+                        counter=AccessCounter(),
+                        plan=prepared.plan,
+                        coverage=prepared.coverage,
+                        minimization=prepared.minimization,
+                        rewrite=prepared.rewrite,
+                        cached=cached,
+                        result_cached=True,
+                    )
+                execution = self._executor.execute(prepared.executable)
+                if all(
+                    shard.validate(dependencies, part)
+                    for shard, part in zip(self.shards, parts)
+                ):
+                    self.result_cache.put(
+                        key,
+                        rows=execution.rows,
+                        columns=execution.columns,
+                        dependencies=dependencies,
+                        snapshot=federated,
+                    )
+                    return EngineResult(
+                        rows=execution.rows,
+                        columns=execution.columns,
+                        strategy="bounded",
+                        elapsed=execution.elapsed,
+                        counter=execution.counter,
+                        plan=prepared.plan,
+                        coverage=prepared.coverage,
+                        minimization=prepared.minimization,
+                        rewrite=prepared.rewrite,
+                        cached=cached,
+                    )
+                self.metrics.snapshot_retries += 1
+            self.metrics.mixed_epoch_aborts += 1
+            raise TransientFault(
+                f"federated execution abandoned after {self.max_snapshot_retries + 1} "
+                "attempts: shard epochs kept moving during the merge; retry later"
+            )
+
+        if not fallback:
+            raise NotCoveredError(prepared.coverage.explain())
+        return self._federated_fallback(query, prepared, cached)
+
+    def _scatter_fetch(
+        self,
+        constraint,
+        base_relation: str,
+        keys: set[Row],
+        routed_position: int | None,
+        counter: AccessCounter,
+    ) -> set[Row]:
+        """One federated fetch step: route or broadcast keys, union partials."""
+        self.metrics.scatters += 1
+        if not keys:
+            # No input rows → no keys → fetch nothing (the SQLite empty-LHS
+            # path would otherwise return its whole index table).
+            self.metrics.observe_merge(0)
+            return set()
+        if routed_position is None:
+            groups: list[tuple[Shard, Iterable[Row]]] = [
+                (shard, keys) for shard in self.shards
+            ]
+            self.metrics.broadcasts += 1
+        else:
+            buckets: dict[int, list[Row]] = {}
+            for fetch_key in keys:
+                owner = self.partitioner.shard_for_value(
+                    base_relation, fetch_key[routed_position]
+                )
+                buckets.setdefault(owner, []).append(fetch_key)
+            groups = [(self.shards[i], buckets[i]) for i in sorted(buckets)]
+            self.metrics.routed += 1
+        merged: set[Row] = set()
+        for shard, shard_keys in groups:
+            if not shard_keys:
+                continue
+            started = time.perf_counter()
+            partial = shard.fetch(constraint, base_relation, shard_keys, counter)
+            self.metrics.latency.observe(
+                f"shard:{shard.name}", time.perf_counter() - started
+            )
+            self.metrics.shard_fetches += 1
+            merged.update(partial)
+        self.metrics.observe_merge(len(merged))
+        return merged
+
+    # -- fallback -------------------------------------------------------------------
+    def _federated_fallback(
+        self, query: Query, prepared: PreparedQuery, cached: bool
+    ) -> EngineResult:
+        """Conventional evaluation over a gathered copy of the query's relations.
+
+        Uncovered queries have no bounded plan to scatter, so the router
+        gathers the full fragments of every relation the query mentions into
+        a scratch database and evaluates conventionally there — the honest
+        cost of an unbounded query over a federation.  The gather itself is
+        epoch-guarded like a covered merge.  The breaker protocol matches the
+        engine's: refuse when open, report every outcome.
+        """
+        breaker = self.fallback_breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                "conventional fallback refused: circuit breaker is open "
+                "(recent fallback failures); retry after the cooldown or "
+                "rewrite the query into a covered form"
+            )
+        try:
+            # Gather by *base* relation: occurrences may be renamed, but the
+            # fragments (and the scratch schema) hold base relations only.
+            relations = tuple(dict.fromkeys(r.base for r in query.relations()))
+            merged = self._gather(relations)
+            baseline = self._fallback_evaluator(
+                query, merged, self.access_schema, None
+            )
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return EngineResult(
+            rows=baseline.rows,
+            columns=baseline.result.columns,
+            strategy="conventional",
+            elapsed=baseline.elapsed,
+            counter=baseline.counter,
+            coverage=prepared.coverage,
+            cached=cached,
+        )
+
+    def _gather(self, relations: tuple[str, ...]) -> Database:
+        """Union the shards' fragments of ``relations`` into a scratch database."""
+        for _attempt in range(self.max_snapshot_retries + 1):
+            parts = [shard.snapshot(relations) for shard in self.shards]
+            scratch = Database(self.partitioner.schema)
+            for shard in self.shards:
+                for name in relations:
+                    rows = shard.relation_rows(name)
+                    if rows:
+                        scratch.insert_many(name, rows)
+            if all(
+                shard.validate(relations, part)
+                for shard, part in zip(self.shards, parts)
+            ):
+                return scratch
+            self.metrics.snapshot_retries += 1
+        self.metrics.mixed_epoch_aborts += 1
+        raise TransientFault(
+            "federated gather abandoned: shard epochs kept moving; retry later"
+        )
+
+    # -- writes ---------------------------------------------------------------------
+    def apply_updates(self, updates: Iterable) -> "MaintenanceReport":
+        """Route a batch to its owning shards and apply each portion batched.
+
+        Updates to the same row always carry the same partition key, so they
+        route to the same shard and their relative order is preserved;
+        cross-row updates commute.  Each shard applies its portion through
+        its own batched maintenance path (one shard-clock bump per portion);
+        the router then settles *its* state once for the whole batch — one
+        router-clock bump over every touched relation plus one targeted
+        sweep of the plan store and result cache.
+
+        If a shard aborts its portion, portions already applied stay applied
+        (there is no cross-shard transaction — by design: each portion is
+        itself atomic-enough under the single-writer serving tier), the
+        router still settles over everything that did change, and a
+        :class:`~repro.core.errors.MaintenanceError` carrying the merged
+        partial report propagates.
+        """
+        from ..discovery.maintenance import MaintenanceReport
+
+        batches: list[list] = [[] for _ in self.shards]
+        for update in updates:
+            owner = self.partitioner.shard_for_row(update.relation, update.row)
+            batches[owner].append(update)
+
+        merged = MaintenanceReport()
+        applied: list = []
+        failure: MaintenanceError | None = None
+        for shard, batch in zip(self.shards, batches):
+            if not batch:
+                continue
+            try:
+                report = shard.apply_updates(batch)
+            except MaintenanceError as error:
+                if error.report is not None:
+                    self._merge_report(merged, error.report)
+                merged.failed = True
+                merged.failed_update = getattr(error.report, "failed_update", None)
+                merged.error = str(error)
+                failure = error
+                break
+            self._merge_report(merged, report)
+            applied.extend(batch)
+
+        self.metrics.write_batches += 1
+        if merged.touched_relations:
+            touched = sorted(merged.touched_relations)
+            self.clock.bump(touched)
+            self._discard_compiled(self.plan_cache.invalidate(touched))
+            self.result_cache.invalidate(touched)
+            merged.version = self.clock.global_version
+        if failure is not None:
+            raise MaintenanceError(str(failure), report=merged)
+        if self.write_observer is not None and applied:
+            self.write_observer(applied)
+        return merged
+
+    @staticmethod
+    def _merge_report(merged, report) -> None:
+        merged.applied += report.applied
+        merged.skipped += report.skipped
+        merged.violated.extend(report.violated)
+        merged.adjusted.update(report.adjusted)
+        merged.work_units += report.work_units
+        merged.touched_relations.update(report.touched_relations)
+
+    # -- reporting ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, dict[str, int | float]]:
+        """Plan-store and result-cache statistics (the engine's interface)."""
+        return {
+            "plan_store": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+        }
+
+    def stats(self) -> dict:
+        """Topology, scatter/gather metrics, and cache statistics, JSON-ready."""
+        return {
+            "shards": [shard.stats() for shard in self.shards],
+            "partitioner": type(self.partitioner).__name__,
+            "scatter_gather": self.metrics.snapshot(),
+            "caches": self.cache_stats(),
+        }
+
+
+def build_topology(
+    database: Database,
+    access_schema: AccessSchema,
+    *,
+    shards: int = 2,
+    backends: Sequence[str] | str | None = None,
+    partitioner: Partitioner | None = None,
+    partition_keys=None,
+    plan_store: PlanStore | None = None,
+    result_cache_size: int = 256,
+    fallback_breaker: object | None = None,
+    write_observer: Callable[[list], None] | None = None,
+) -> ShardRouter:
+    """Partition ``database`` into a heterogeneous federation and wire a router.
+
+    ``backends`` names each shard's substrate (``"memory"`` or ``"sqlite"``),
+    either per-shard or as one string for all; the default alternates
+    ``memory, sqlite, memory, …`` so that any multi-shard topology exercises
+    one federated plan across *both* backends.  All shards (and the router)
+    share one :class:`~repro.core.planstore.PlanStore` — each query is
+    prepared once federation-wide.  ``database`` itself is left untouched;
+    the shards own disjoint fragment copies.
+    """
+    if partitioner is None:
+        partitioner = HashPartitioner(database.schema, shards, partition_keys)
+    elif partitioner.shard_count != shards:
+        raise StorageError(
+            f"partitioner is configured for {partitioner.shard_count} shards, "
+            f"but shards={shards} was requested"
+        )
+    if backends is None:
+        kinds = ["memory" if i % 2 == 0 else "sqlite" for i in range(shards)]
+    elif isinstance(backends, str):
+        kinds = [backends] * shards
+    else:
+        kinds = list(backends)
+        if len(kinds) != shards:
+            raise StorageError(
+                f"{shards} shards need {shards} backend kinds, got {len(kinds)}"
+            )
+    store = plan_store if plan_store is not None else PlanStore(128)
+    fragments = partitioner.partition(database)
+    built: list[Shard] = []
+    for index, (kind, fragment) in enumerate(zip(kinds, fragments)):
+        name = f"shard{index}-{kind}"
+        if kind == "memory":
+            built.append(EngineShard(name, fragment, access_schema, plan_store=store))
+        elif kind == "sqlite":
+            built.append(SQLiteShard(name, fragment, access_schema))
+        else:
+            raise StorageError(
+                f"unknown shard backend {kind!r}; expected 'memory' or 'sqlite'"
+            )
+    return ShardRouter(
+        built,
+        partitioner,
+        access_schema,
+        plan_store=store,
+        result_cache_size=result_cache_size,
+        fallback_breaker=fallback_breaker,
+        write_observer=write_observer,
+    )

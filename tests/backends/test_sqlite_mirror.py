@@ -1,0 +1,205 @@
+"""SQLite mirror write-path: delete support, insert dedupe, randomized drift check.
+
+The mirror's contract is lockstep with its :class:`~repro.storage.database.
+Database`: after any interleaving of inserts and deletes routed through both,
+the SQLite base tables hold exactly the relation instances' rows, the index
+tables hold exactly the constraint projections, and bounded-plan SQL and
+conventional SQL both agree row-for-row with the in-memory reference.  These
+tests pin the two write-path fixes (``apply_delete`` existing at all, and
+``apply_insert`` deduplicating base rows under set semantics) and then hammer
+the whole contract with a seeded randomized op sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.backends.sqlite import SQLiteBackend
+from repro.core.engine import BoundedEngine
+from repro.core.errors import StorageError
+from repro.core.planner import plan_query
+from repro.evaluator.algebra import evaluate
+from repro.workloads import facebook
+
+#: ψ3's index table: dine([pid, cid] → [pid, cid]); its columns are a proper
+#: subset of dine's, so several base rows can share one index row.
+PSI3_TABLE = "ind_dine_cid_pid__cid_pid"
+
+
+@pytest.fixture
+def backend(fb_database, fb_access):
+    with SQLiteBackend(fb_database) as backend:
+        backend.create_index_tables(fb_access)
+        yield backend
+
+
+def _count(backend, table: str) -> int:
+    result = backend.run_sql(f'SELECT COUNT(*) FROM "{table}"')
+    return next(iter(result.rows))[0]
+
+
+class TestApplyDelete:
+    def test_removes_base_row(self, backend):
+        row = next(iter(backend.database.relation("cafe").rows))
+        before = _count(backend, "cafe")
+        backend.apply_delete("cafe", row)
+        assert _count(backend, "cafe") == before - 1
+
+    def test_absent_row_is_a_noop(self, backend):
+        before = _count(backend, "friend")
+        index_before = backend.index_size()
+        backend.apply_delete("friend", ("ghost", "ghost"))
+        assert _count(backend, "friend") == before
+        assert backend.index_size() == index_before
+
+    def test_shared_index_row_outlives_first_base_row(self, backend):
+        # Two dine rows differing only in month project to ONE ψ3 index row.
+        first = ("p_share", "c_share", "may", 2015)
+        second = ("p_share", "c_share", "jun", 2015)
+        backend.apply_insert("dine", first)
+        backend.apply_insert("dine", second)
+        shared = backend.run_sql(
+            f'SELECT * FROM "{PSI3_TABLE}" WHERE "pid" = \'p_share\''
+        )
+        assert len(shared.rows) == 1
+
+        # Deleting one base row must keep the index row: the other still
+        # projects to it — dropping it would lose bounded-plan answers.
+        backend.apply_delete("dine", first)
+        assert len(
+            backend.run_sql(
+                f'SELECT * FROM "{PSI3_TABLE}" WHERE "pid" = \'p_share\''
+            ).rows
+        ) == 1
+        # Deleting the last projecting base row finally drops the index row.
+        backend.apply_delete("dine", second)
+        assert (
+            backend.run_sql(
+                f'SELECT * FROM "{PSI3_TABLE}" WHERE "pid" = \'p_share\''
+            ).rows
+            == frozenset()
+        )
+
+
+class TestApplyInsertDedupe:
+    def test_duplicate_insert_does_not_grow_base_table(self, backend):
+        existing = next(iter(backend.database.relation("friend").rows))
+        before = _count(backend, "friend")
+        backend.apply_insert("friend", existing)
+        assert _count(backend, "friend") == before
+
+    def test_delete_after_duplicate_insert_leaves_no_copy(self, backend):
+        # The pre-fix behaviour left TWO SQLite copies after a duplicate
+        # insert, so one delete still left a phantom row behind.
+        existing = next(iter(backend.database.relation("cafe").rows))
+        backend.apply_insert("cafe", existing)
+        backend.apply_delete("cafe", existing)
+        conditions = " AND ".join(
+            f'"{a}" = ?' for a in backend.database.schema["cafe"].attributes
+        )
+        cursor = backend.connection.cursor()
+        cursor.execute(f'SELECT COUNT(*) FROM "cafe" WHERE {conditions}', existing)
+        assert cursor.fetchone()[0] == 0
+
+
+class TestFetchIndex:
+    def test_matches_manual_projection(self, backend, fb_access, fb_database):
+        psi1 = next(c for c in fb_access if c.name == "psi1")
+        rows = backend.fetch_index(psi1, [("p0",)])
+        expected = {
+            (row[1], row[0])  # index columns are sorted(lhs|rhs) = (fid, pid)
+            for row in fb_database.relation("friend").rows
+            if row[0] == "p0"
+        }
+        assert rows == frozenset(expected)
+
+    def test_multiple_keys_union(self, backend, fb_access):
+        psi4 = next(c for c in fb_access if c.name == "psi4")
+        one = backend.fetch_index(psi4, [("c0",)])
+        two = backend.fetch_index(psi4, [("c1",)])
+        both = backend.fetch_index(psi4, [("c0",), ("c1",)])
+        assert both == one | two
+
+    def test_missing_table_raises(self, fb_database, fb_access):
+        with SQLiteBackend(fb_database) as bare:
+            psi1 = next(c for c in fb_access if c.name == "psi1")
+            with pytest.raises(StorageError, match="has not been created"):
+                bare.fetch_index(psi1, [("p0",)])
+
+
+class TestRandomizedMirrorCrossCheck:
+    """Identical op sequences through engine and mirror; full agreement after every step."""
+
+    def test_mixed_insert_delete_sequence_stays_in_lockstep(self):
+        database = facebook.generate(scale=20, seed=3)
+        access = facebook.access_schema(database.schema)
+        engine = BoundedEngine(database, access, check_constraints=False)
+        rng = random.Random(97)
+        queries = [facebook.query_q1(), facebook.query_q0_prime()]
+        plans = [plan_query(query, access) for query in queries]
+        ghosts = {
+            "friend": ("ghost", "ghost"),
+            "dine": ("ghost", "ghostc", "jan", 1999),
+            "cafe": ("ghostc", "nowhere"),
+        }
+
+        with SQLiteBackend(database) as backend:
+            backend.create_index_tables(access)
+            removed: dict[str, list[tuple]] = {n: [] for n in database.relation_names()}
+
+            def apply(kind: str, relation: str, row: tuple) -> None:
+                # One op, two substrates: Database+IndexSet via the engine,
+                # SQLite base+index tables via the mirror.
+                if kind == "insert":
+                    engine.apply_insert(relation, row)
+                    backend.apply_insert(relation, row)
+                else:
+                    engine.apply_delete(relation, row)
+                    backend.apply_delete(relation, row)
+
+            for step in range(60):
+                relation = rng.choice(database.relation_names())
+                instance = database.relation(relation)
+                roll = rng.random()
+                if roll < 0.35 and len(instance) > 0:
+                    row = rng.choice(sorted(instance.rows))
+                    removed[relation].append(row)
+                    apply("delete", relation, row)
+                elif roll < 0.60 and removed[relation]:
+                    apply("insert", relation, removed[relation].pop())
+                elif roll < 0.80 and len(instance) > 0:
+                    apply("insert", relation, rng.choice(sorted(instance.rows)))  # duplicate
+                else:
+                    apply("delete", relation, ghosts[relation])  # absent
+
+                # Base tables mirror the relation instances exactly.
+                for name in database.relation_names():
+                    assert _count(backend, name) == len(database.relation(name)), (
+                        f"step {step}: base table {name} drifted"
+                    )
+                # Index tables hold exactly the constraint projections.
+                for table, constraint in backend._index_constraints.items():
+                    columns = sorted(constraint.lhs | constraint.rhs)
+                    schema = database.schema[constraint.relation]
+                    positions = schema.positions(columns)
+                    expected = {
+                        tuple(row[p] for p in positions)
+                        for row in database.relation(constraint.relation).rows
+                    }
+                    actual = backend.run_sql(f'SELECT * FROM "{table}"').rows
+                    assert actual == frozenset(expected), (
+                        f"step {step}: index table {table} drifted"
+                    )
+                # Bounded-plan SQL, conventional SQL, the engine, and the
+                # reference evaluator all agree row-for-row.
+                for query, plan in zip(queries, plans):
+                    reference = evaluate(query, database).rows
+                    assert backend.run_bounded_plan(plan).rows == reference, (
+                        f"step {step}: bounded plan diverged"
+                    )
+                    assert backend.run_query(query).rows == reference, (
+                        f"step {step}: conventional SQL diverged"
+                    )
+                    assert engine.execute(query).rows == reference, (
+                        f"step {step}: engine diverged"
+                    )

@@ -1,0 +1,115 @@
+"""Partitioners: deterministic assignment, disjoint cover, boundary convention."""
+
+import zlib
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.sharding import HashPartitioner, RangePartitioner, stable_hash
+from repro.workloads import facebook
+
+
+@pytest.fixture
+def fb_schema():
+    return facebook.schema()
+
+
+class TestStableHash:
+    def test_is_crc32_of_repr(self):
+        # Python's str hash is salted per interpreter; the partitioner must
+        # place the same key on the same shard across processes.
+        assert stable_hash("p0") == zlib.crc32(repr("p0").encode("utf-8"))
+        assert stable_hash(2015) == zlib.crc32(repr(2015).encode("utf-8"))
+
+    def test_repeated_calls_agree(self):
+        assert stable_hash(("p0", "c1")) == stable_hash(("p0", "c1"))
+
+
+class TestHashPartitioner:
+    def test_default_key_is_the_first_attribute(self, fb_schema):
+        partitioner = HashPartitioner(fb_schema, 3)
+        assert partitioner.attribute("friend") == "pid"
+        assert partitioner.attribute("cafe") == "cid"
+
+    def test_key_override_changes_routing(self, fb_schema):
+        by_pid = HashPartitioner(fb_schema, 3)
+        by_fid = HashPartitioner(fb_schema, 3, keys={"friend": "fid"})
+        row = ("p1", "p2")
+        assert by_pid.shard_for_row("friend", row) == by_pid.shard_for_value(
+            "friend", "p1"
+        )
+        assert by_fid.shard_for_row("friend", row) == by_fid.shard_for_value(
+            "friend", "p2"
+        )
+
+    def test_partition_is_a_disjoint_cover(self, fb_schema):
+        database = facebook.generate(scale=25, seed=2)
+        partitioner = HashPartitioner(fb_schema, 3)
+        fragments = partitioner.partition(database)
+        assert len(fragments) == 3
+        for name in database.relation_names():
+            original = set(database.relation(name).rows)
+            pieces = [set(fragment.relation(name).rows) for fragment in fragments]
+            assert set().union(*pieces) == original
+            assert sum(len(piece) for piece in pieces) == len(original)  # disjoint
+            for index, piece in enumerate(pieces):
+                for row in piece:
+                    assert partitioner.shard_for_row(name, row) == index
+
+    def test_partition_leaves_the_input_untouched(self, fb_schema):
+        database = facebook.generate(scale=25, seed=2)
+        before = database.size
+        HashPartitioner(fb_schema, 4).partition(database)
+        assert database.size == before
+
+    def test_validation_errors(self, fb_schema):
+        with pytest.raises(StorageError, match="shard count"):
+            HashPartitioner(fb_schema, 0)
+        with pytest.raises(StorageError, match="not an attribute"):
+            HashPartitioner(fb_schema, 2, keys={"friend": "city"})
+        with pytest.raises(StorageError, match="unknown relations"):
+            HashPartitioner(fb_schema, 2, keys={"nosuch": "pid"})
+        with pytest.raises(StorageError, match="no partitioning defined"):
+            HashPartitioner(fb_schema, 2).attribute("nosuch")
+
+
+class TestRangePartitioner:
+    def boundaries(self):
+        return {"friend": ["p5"], "dine": ["p5"], "cafe": ["c5"]}
+
+    def test_boundary_value_belongs_to_the_upper_shard(self, fb_schema):
+        partitioner = RangePartitioner(fb_schema, 2, self.boundaries())
+        # bisect_right: a boundary opens the shard to its right.
+        assert partitioner.shard_for_value("friend", "p5") == 1
+        assert partitioner.shard_for_value("friend", "p49") == 0
+        assert partitioner.shard_for_value("friend", "p6") == 1
+
+    def test_partition_respects_the_boundaries(self, fb_schema):
+        database = facebook.generate(scale=25, seed=2)
+        partitioner = RangePartitioner(fb_schema, 2, self.boundaries())
+        low, high = partitioner.partition(database)
+        for row in low.relation("friend").rows:
+            assert row[0] < "p5"
+        for row in high.relation("friend").rows:
+            assert row[0] >= "p5"
+
+    def test_validation_errors(self, fb_schema):
+        with pytest.raises(StorageError, match="must be sorted"):
+            RangePartitioner(fb_schema, 3, {"friend": ["p9", "p5"]})
+        with pytest.raises(StorageError, match="needs 2 boundaries"):
+            RangePartitioner(fb_schema, 3, {"friend": ["p5"]})
+        partial = RangePartitioner(fb_schema, 2, {"friend": ["p5"]})
+        with pytest.raises(StorageError, match="no range boundaries"):
+            partial.shard_for_value("cafe", "c1")
+
+    def test_from_database_quantiles_cover_every_relation(self, fb_schema):
+        database = facebook.generate(scale=25, seed=2)
+        partitioner = RangePartitioner.from_database(database, 3)
+        fragments = partitioner.partition(database)
+        for name in database.relation_names():
+            original = set(database.relation(name).rows)
+            pieces = [set(fragment.relation(name).rows) for fragment in fragments]
+            assert set().union(*pieces) == original
+            assert sum(len(piece) for piece in pieces) == len(original)
+        # Quantile cuts spread a scale-25 social graph over all three shards.
+        assert sum(1 for fragment in fragments if fragment.size) >= 2

@@ -1,0 +1,295 @@
+"""Federated scatter/gather: row identity, epoch guards, routing, serving.
+
+Every test compares the federation against a single-database reference: the
+input database is left behind by :func:`~repro.sharding.router.build_topology`
+(the shards own disjoint fragment copies) and, where the tests write, a
+``write_observer`` mirrors every fully-applied routed batch back into it — so
+``evaluate(query, database)`` is always the truth the router must match.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import (
+    CircuitOpenError,
+    MaintenanceError,
+    StorageError,
+    TransientFault,
+)
+from repro.discovery.maintenance import Update
+from repro.evaluator.algebra import evaluate
+from repro.serving.server import BoundedServer, ReadRequest, WriteRequest
+from repro.serving.soak import SoakConfig, run_soak
+from repro.sharding import RangePartitioner, build_topology
+from repro.workloads import facebook
+
+
+def mirrored_topology(scale=30, seed=5, **kwargs):
+    """A federation plus the single-database reference it must stay identical to."""
+    database = facebook.generate(scale=scale, seed=seed)
+    access = facebook.access_schema(database.schema)
+
+    def mirror(updates):
+        for update in updates:
+            instance = database.relation(update.relation)
+            prepared = instance.prepare(update.row)
+            if update.kind == "insert":
+                instance.insert(prepared)
+            else:
+                instance.delete(prepared)
+
+    router = build_topology(database, access, write_observer=mirror, **kwargs)
+    return router, database
+
+
+def covered_queries():
+    # q0 is uncovered as written but has a covered rewriting (q0'); the
+    # router must serve it bounded, like the engine does.
+    return [facebook.query_q1(), facebook.query_q0_prime(), facebook.query_q0()]
+
+
+class TestFederatedReads:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_rows_identical_to_single_database_reference(self, shards):
+        router, database = mirrored_topology(shards=shards)
+        for query in covered_queries():
+            result = router.execute(query)
+            assert result.strategy == "bounded"
+            assert result.rows == evaluate(query, database).rows
+
+    def test_heterogeneous_shards_both_serve_fetches(self):
+        router, database = mirrored_topology(shards=2)
+        assert [shard.kind for shard in router.shards] == ["memory", "sqlite"]
+        for query in covered_queries():
+            assert router.execute(query).rows == evaluate(query, database).rows
+        fetched = set(router.metrics.latency.snapshot())
+        # One federated plan executed fetch steps on both backends.
+        assert fetched == {"shard:shard0-memory", "shard:shard1-sqlite"}
+        assert router.metrics.scatters > 0
+        assert router.metrics.merges == router.metrics.scatters
+
+    def test_empty_shard_contributes_nothing_and_breaks_nothing(self):
+        schema = facebook.schema()
+        # Every key sorts below "zzz", so shard 1 owns no data at all.
+        partitioner = RangePartitioner(
+            schema, 2, {"friend": ["zzz"], "dine": ["zzz"], "cafe": ["zzz"]}
+        )
+        router, database = mirrored_topology(shards=2, partitioner=partitioner)
+        assert router.shards[0].database.size == database.size
+        assert router.shards[1].database.size == 0
+        for query in covered_queries():
+            assert router.execute(query).rows == evaluate(query, database).rows
+
+    def test_partition_boundary_keys_route_to_the_upper_shard(self):
+        schema = facebook.schema()
+        partitioner = RangePartitioner(
+            schema, 2, {"friend": ["p5"], "dine": ["p5"], "cafe": ["c5"]}
+        )
+        router, database = mirrored_topology(shards=2, partitioner=partitioner)
+        # "p5" equals the cut point: by the bisect_right convention its rows
+        # live on the upper shard, and a fetch keyed on it must go there.
+        boundary_rows = {
+            row for row in database.relation("friend").rows if row[0] == "p5"
+        }
+        assert boundary_rows, "scale 30 must include person p5"
+        assert boundary_rows <= set(router.shards[1].database.relation("friend").rows)
+        query = facebook.query_q1(person="p5")
+        assert router.execute(query).rows == evaluate(query, database).rows
+        assert router.metrics.routed > 0
+
+    def test_result_cache_round_trip_survives_routed_writes(self):
+        router, database = mirrored_topology()
+        query = facebook.query_q1()
+        reference = evaluate(query, database).rows
+        assert router.execute(query).rows == reference
+        assert router.execute(query).result_cached
+
+        victim = sorted(database.relation("friend").rows)[0]
+        report = router.apply_updates([Update.delete("friend", victim)])
+        assert report.applied == 1
+        assert router.metrics.write_batches == 1
+
+        result = router.execute(query)
+        assert not result.result_cached
+        assert result.rows == evaluate(query, database).rows
+
+
+def inject_racing_write(router, make_update):
+    """Wrap every shard's fetch so the first N calls interleave a routed write."""
+
+    for shard in router.shards:
+        original = shard.fetch
+
+        def racing(constraint, base, keys, counter=None, _original=original):
+            partial = _original(constraint, base, keys, counter)
+            update = make_update()
+            if update is not None:
+                router.apply_updates([update])
+            return partial
+
+        shard.fetch = racing
+
+
+class TestWritesRacingReads:
+    def test_snapshot_mismatch_retries_once_and_serves_the_new_epoch(self):
+        router, database = mirrored_topology()
+        victim = sorted(database.relation("friend").rows)[0]
+        fired = []
+
+        def one_delete():
+            if fired:
+                return None
+            fired.append(True)
+            return Update.delete("friend", victim)
+
+        inject_racing_write(router, one_delete)
+        query = facebook.query_q1()
+        result = router.execute(query)
+        # The racing write moved a dependency's epoch mid-merge: the first
+        # attempt was discarded (one retry), the second ran clean, and the
+        # served rows are the post-write reference — never a mixed-epoch mix
+        # of pre- and post-delete partials.
+        assert router.metrics.snapshot_retries == 1
+        assert router.metrics.mixed_epoch_aborts == 0
+        assert result.rows == evaluate(query, database).rows
+
+    def test_persistent_race_aborts_with_a_typed_fault(self):
+        router, database = mirrored_topology()
+        victim = sorted(database.relation("cafe").rows)[0]
+        state = {"delete": True}
+
+        def toggle():
+            kind = Update.delete if state["delete"] else Update.insert
+            state["delete"] = not state["delete"]
+            return kind("cafe", victim)
+
+        inject_racing_write(router, toggle)
+        with pytest.raises(TransientFault, match="epochs kept moving"):
+            router.execute(facebook.query_q1())
+        assert router.metrics.snapshot_retries == router.max_snapshot_retries + 1
+        assert router.metrics.mixed_epoch_aborts == 1
+
+
+class TestRoutedWrites:
+    def test_partial_shard_failure_surfaces_a_merged_report(self):
+        router, database = mirrored_topology(shards=2)
+        by_shard = {0: None, 1: None}
+        for row in sorted(database.relation("friend").rows):
+            owner = router.partitioner.shard_for_row("friend", row)
+            if by_shard[owner] is None:
+                by_shard[owner] = row
+        assert None not in by_shard.values(), "need a victim row on each shard"
+
+        def broken(updates):
+            raise MaintenanceError("injected shard failure")
+
+        router.shards[1].apply_updates = broken
+        batch = [
+            Update.delete("friend", by_shard[0]),
+            Update.delete("friend", by_shard[1]),
+        ]
+        with pytest.raises(MaintenanceError, match="injected shard failure") as info:
+            router.apply_updates(batch)
+        # Shard 0's portion stays applied and is accounted for; the router
+        # still settled its clock/caches over what actually changed.
+        assert info.value.report.applied == 1
+        assert info.value.report.failed
+        assert router.clock.global_version == 1
+
+
+class TestFallback:
+    def test_uncovered_query_gathers_and_evaluates_conventionally(self):
+        router, database = mirrored_topology()
+        query = facebook.query_q2()
+        result = router.execute(query)
+        assert result.strategy == "conventional"
+        assert result.rows == evaluate(query, database).rows
+
+    def test_open_breaker_refuses_the_unbounded_fallback(self):
+        router, _ = mirrored_topology()
+
+        class RefusingBreaker:
+            def allow(self):
+                return False
+
+            def record_success(self):
+                pass
+
+            def record_failure(self):
+                pass
+
+        router.fallback_breaker = RefusingBreaker()
+        with pytest.raises(CircuitOpenError):
+            router.execute(facebook.query_q2())
+
+
+class TestBuildTopology:
+    def test_rejects_unknown_backend_kind(self):
+        database = facebook.generate(scale=10, seed=1)
+        access = facebook.access_schema(database.schema)
+        with pytest.raises(StorageError, match="unknown shard backend"):
+            build_topology(database, access, shards=2, backends=["memory", "duckdb"])
+
+    def test_rejects_backend_count_mismatch(self):
+        database = facebook.generate(scale=10, seed=1)
+        access = facebook.access_schema(database.schema)
+        with pytest.raises(StorageError, match="backend kinds"):
+            build_topology(database, access, shards=3, backends=["memory"] * 2)
+
+    def test_rejects_partitioner_shard_count_mismatch(self):
+        database = facebook.generate(scale=10, seed=1)
+        access = facebook.access_schema(database.schema)
+        partitioner = RangePartitioner(
+            database.schema, 2, {"friend": ["p5"], "dine": ["p5"], "cafe": ["c5"]}
+        )
+        with pytest.raises(StorageError, match="configured for 2 shards"):
+            build_topology(database, access, shards=3, partitioner=partitioner)
+
+
+class TestServerOverRouter:
+    def test_bounded_server_serves_a_federation(self):
+        router, database = mirrored_topology()
+        q1 = facebook.query_q1()
+        q0_prime = facebook.query_q0_prime()
+        victim = sorted(database.relation("friend").rows)[0]
+
+        async def _run():
+            async with BoundedServer(router) as server:
+                first = await server.submit(ReadRequest(query=q1))
+                write = await server.submit(
+                    WriteRequest(updates=(Update.delete("friend", victim),))
+                )
+                second = await server.submit(ReadRequest(query=q1))
+                third = await server.submit(ReadRequest(query=q0_prime))
+                return first, write, second, third
+
+        first, write, second, third = asyncio.run(_run())
+        assert first.ok and first.strategy == "bounded" and first.snapshot_valid
+        assert write.ok and write.strategy == "write"
+        assert second.ok and second.snapshot_valid
+        # The write routed through the shards and the mirror saw it, so the
+        # reference evaluation is the post-write truth.
+        assert second.rows == evaluate(q1, database).rows
+        assert third.rows == evaluate(q0_prime, database).rows
+        assert router.metrics.write_batches == 1
+
+
+class TestShardedSoak:
+    def test_quick_sharded_soak_passes_every_check(self):
+        config = SoakConfig(
+            scale=40,
+            requests=60,
+            seed=11,
+            queue_depth=8,
+            covered_queries=4,
+            uncovered_queries=2,
+            shards=3,
+        )
+        report = run_soak(config)
+        assert report["passed"], report["checks"]
+        assert report["checks"]["federation_scattered"]
+        assert report["checks"]["no_mixed_epoch_merges"]
+        assert report["checks"]["writes_routed"]
+        assert report["config"]["faults"] is False  # chaos stays single-engine
+        assert len(report["router"]["shards"]) == 3
