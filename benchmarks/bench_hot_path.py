@@ -14,6 +14,14 @@ scenarios are measured:
 * **warm** — plan store + result cache: repeats on unchanged data skip
   execution entirely and serve the materialized bounded result.
 
+**Cold path** — queries/second on the bundled *analytic* queries
+(:mod:`repro.bench.analytic`) with the result cache off, comparing the row
+and columnar executor kernels on the executions a serving tier pays on every
+result-cache miss.  Row/columnar results are cross-checked for identity
+against the reference evaluator before any timing; the report records
+``cold_row_qps``, ``cold_columnar_qps``, the ``columnar_speedup`` ratio and
+the shipping ``cold_qps`` (auto mode) per workload.
+
 **Mixed read/write** — repeated queries interleaved with writes to a
 relation *unrelated* to every query's dependency set, comparing
 constraint-granular invalidation against the legacy clear-all mode
@@ -44,6 +52,7 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:  # allow running without an editable install
     sys.path.insert(0, str(SRC))
 
+from repro.bench.analytic import analytic_queries  # noqa: E402
 from repro.bench.experiments import select_covered_queries  # noqa: E402
 from repro.core.engine import BoundedEngine  # noqa: E402
 from repro.evaluator.algebra import evaluate  # noqa: E402
@@ -152,6 +161,69 @@ def bench_workload(name: str, *, scale: int, query_count: int, repeats: int) -> 
         "speedup": round(warm_qps / cold_qps, 2) if cold_qps else None,
         "plan_speedup": round(warm_plan_qps / cold_qps, 2) if cold_qps else None,
         "cache": measured_stats,
+    }
+
+
+def bench_cold_path(name: str, *, scale: int, repeats: int) -> dict:
+    """Row vs columnar execution throughput on the bundled analytic queries.
+
+    Every engine runs with the result cache disabled and a warm plan store,
+    so the measured cost is pure plan execution — the cold path of a result
+    cache miss.  Before any timing, every (query, mode) pair is cross-checked
+    row-for-row against the reference evaluator.  Row mode gets fewer passes
+    (its analytic executions are orders of magnitude slower); throughput is
+    normalized per execution either way.
+    """
+    workload = WORKLOADS[name]
+    queries = analytic_queries(workload)
+    if not queries:
+        return {"workload": name, "skipped": "no bundled analytic queries"}
+    database = workload.database(scale=scale, seed=7)
+
+    engines = {
+        mode: BoundedEngine(
+            database,
+            workload.access_schema,
+            check_constraints=False,
+            result_cache_size=0,
+            executor_mode=mode,
+        )
+        for mode in ("row", "columnar", "auto")
+    }
+
+    # Row-identity cross-checks (also warm every plan store): each mode must
+    # produce exactly the reference evaluator's rows for every query.
+    access_bounds = []
+    for query in queries:
+        expected = evaluate(query, database).rows
+        for mode, engine in engines.items():
+            result = engine.execute(query)
+            if result.rows != expected:
+                raise AssertionError(
+                    f"{name}/{mode}: cold-path result mismatch for\n{query}\n"
+                    f"expected {len(expected)} rows, got {len(result.rows)}"
+                )
+        prepared, _ = engines["row"].prepare(query)
+        access_bounds.append(prepared.executable.access_bound())
+
+    row_repeats = max(1, repeats // 4)
+    row_qps, row_runs = _throughput(engines["row"], queries, row_repeats)
+    columnar_qps, columnar_runs = _throughput(engines["columnar"], queries, repeats)
+    auto_qps, _ = _throughput(engines["auto"], queries, repeats)
+    executor = engines["columnar"].cache_stats()["executor"]
+
+    return {
+        "workload": name,
+        "scale": scale,
+        "queries": len(queries),
+        "access_bounds": access_bounds,
+        "executions": {"row": row_runs, "columnar": columnar_runs},
+        "cold_row_qps": round(row_qps, 2),
+        "cold_columnar_qps": round(columnar_qps, 2),
+        # the shipping number: auto mode picks kernels per plan
+        "cold_qps": round(auto_qps, 2),
+        "columnar_speedup": round(columnar_qps / row_qps, 2) if row_qps else None,
+        "executor": executor,
     }
 
 
@@ -316,6 +388,21 @@ def main(argv: list[str] | None = None) -> int:
             f"result hit rate {result['cache']['result_cache']['hit_rate']:.2f})"
         )
 
+    cold_results = []
+    for name in sorted(WORKLOADS):
+        cold = bench_cold_path(name, scale=scale, repeats=repeats)
+        cold_results.append(cold)
+        if "skipped" in cold:
+            print(f"{name} cold-path: skipped ({cold['skipped']})")
+            continue
+        print(
+            f"{name} cold-path: row {cold['cold_row_qps']:.1f} q/s, "
+            f"columnar {cold['cold_columnar_qps']:.1f} q/s, "
+            f"auto {cold['cold_qps']:.1f} q/s, "
+            f"columnar speedup {cold['columnar_speedup']:.2f}x "
+            f"(bounds {cold['access_bounds']})"
+        )
+
     for name in sorted(WORKLOADS):
         mixed = bench_mixed(
             name, scale=scale, query_count=query_count,
@@ -344,18 +431,31 @@ def main(argv: list[str] | None = None) -> int:
         if measured_mixed
         else None
     )
+    measured_cold = [
+        r for r in cold_results if r.get("columnar_speedup") is not None
+    ]
+    overall_cold = (
+        round(
+            sum(r["columnar_speedup"] for r in measured_cold) / len(measured_cold), 2
+        )
+        if measured_cold
+        else None
+    )
     report = {
         "benchmark": "hot_path",
         "mode": "quick" if args.quick else "full",
         "scale": scale,
         "repeats": repeats,
         "workloads": results,
+        "cold_path": cold_results,
         "mixed": mixed_results,
         "mean_speedup": overall,
         "mean_mixed_speedup": overall_mixed,
+        "mean_columnar_speedup": overall_cold,
     }
     print(f"mean warm/cold speedup: {overall}x")
     print(f"mean granular/clear-all mixed speedup: {overall_mixed}x")
+    print(f"mean columnar/row cold-path speedup: {overall_cold}x")
 
     if args.output is not None:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -12,7 +12,10 @@ and absolute throughput is only compared between entries recorded on the
 **same host**: against an entry from a different machine (e.g. a laptop
 baseline vs a CI runner) the gate falls back to the dimensionless
 ``mean_speedup`` (warm/cold ratio), which tracks how much the hot path wins
-over re-planning independently of how fast the hardware is.
+over re-planning independently of how fast the hardware is.  Cold-path
+execution throughput (``cold_qps``, from the analytic-query scenario) is
+gated the same way, with the dimensionless columnar/row speedup as its
+cross-host fallback.
 
 Usage (as wired into CI)::
 
@@ -115,6 +118,11 @@ def entry_from_report(report: dict) -> dict:
         for m in report.get("mixed", [])
         if m.get("speedup") is not None
     }
+    cold_qps = {
+        c["workload"]: c["cold_qps"]
+        for c in report.get("cold_path", [])
+        if c.get("cold_qps")
+    }
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _git_commit(),
@@ -123,6 +131,8 @@ def entry_from_report(report: dict) -> dict:
         "warm_qps": warm_qps,
         "mean_speedup": report.get("mean_speedup"),
         "mixed_speedup": mixed_speedup,
+        "cold_qps": cold_qps,
+        "mean_columnar_speedup": report.get("mean_columnar_speedup"),
     }
 
 
@@ -200,6 +210,21 @@ def main(argv: list[str] | None = None) -> int:
         prev_speedup, cur_speedup = previous.get("mean_speedup"), entry["mean_speedup"]
         ratio = (cur_speedup / prev_speedup) if prev_speedup and cur_speedup else None
         gates.append((f"warm/cold speedup (cross-host vs {previous.get('host')})", ratio))
+    if entry.get("cold_qps") and previous.get("cold_qps"):
+        if same_host:
+            gates.append((
+                "cold-path throughput",
+                regression_ratio(previous, entry, key="cold_qps"),
+            ))
+        else:
+            # Cross-host fallback for the cold path: the columnar/row speedup
+            # is dimensionless, like the warm/cold speedup.
+            prev_cs = previous.get("mean_columnar_speedup")
+            cur_cs = entry.get("mean_columnar_speedup")
+            gates.append((
+                "columnar/row speedup (cross-host)",
+                (cur_cs / prev_cs) if prev_cs and cur_cs else None,
+            ))
     if "federated" in entry and "federated" in previous:
         if same_host:
             gates.append((

@@ -125,7 +125,9 @@ def command_plan(args) -> int:
 def command_run(args) -> int:
     database, access = _load_source(args)
     query = _parse_query(args, database)
-    engine = BoundedEngine(database, access, check_constraints=False)
+    engine = BoundedEngine(
+        database, access, check_constraints=False, executor_mode=args.executor
+    )
     repeat = max(1, args.repeat)
     for _ in range(repeat):
         result = engine.execute(query, minimize=not args.no_minimize)
@@ -134,16 +136,19 @@ def command_run(args) -> int:
     served = (
         " | served from result cache" if result.result_cached else ""
     )
+    executor = (
+        f" | executor: {result.executor_mode}" if result.executor_mode else ""
+    )
     print(
         f"-- {len(result.rows)} rows | strategy: {result.strategy} | rewrite: {result.rewrite} | "
         f"accessed {result.counter.total} of {database.size} tuples "
         f"(P(D_Q) = {result.access_ratio(database.size):.6f}) in {result.elapsed * 1000:.1f}ms"
-        f"{served}",
+        f"{executor}{served}",
         file=sys.stderr,
     )
     if args.cache_stats:
         stats = engine.cache_stats()
-        for cache_name in ("plan_store", "result_cache"):
+        for cache_name in ("plan_store", "result_cache", "executor"):
             line = " ".join(
                 f"{key}={value:.2f}" if isinstance(value, float) else f"{key}={value}"
                 for key, value in stats[cache_name].items()
@@ -273,8 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repeat", type=int, default=1,
                      help="execute the query N times (exercises the hot path; "
                           "repeats are served from the plan store / result cache)")
+    run.add_argument("--executor", choices=("auto", "row", "columnar"), default="auto",
+                     help="plan-execution kernels: cost-based choice (auto), "
+                          "row-at-a-time, or vectorized columnar")
     run.add_argument("--cache-stats", action="store_true",
-                     help="print plan-store and result-cache statistics to stderr")
+                     help="print plan-store, result-cache and executor statistics to stderr")
     run.set_defaults(handler=command_run)
 
     discover = subparsers.add_parser("discover", help="mine access constraints from data")

@@ -100,6 +100,9 @@ class EngineResult:
     rewrite: str = "identity"
     cached: bool = False
     result_cached: bool = False
+    #: kernel family that executed the bounded plan ("row"/"columnar");
+    #: ``None`` when nothing executed (result-cache hit) or on the fallback
+    executor_mode: str | None = None
 
     def access_ratio(self, database_size: int) -> float:
         """``P(D_Q)`` for this execution."""
@@ -191,6 +194,14 @@ class BoundedEngine:
     selects the constraint-granular write path; turning it off restores the
     clear-all behaviour of PR 1 (kept for benchmarking the difference).
 
+    ``executor_mode`` selects the plan-execution kernels: ``"row"``,
+    ``"columnar"``, or the default ``"auto"``, which lets the optimizer's
+    cost model (:func:`repro.core.optimizer.choose_executor_mode`) pick per
+    plan — row kernels for point lookups, the vectorized columnar kernels of
+    :mod:`repro.evaluator.columnar` for wide joins and large bounded
+    fetches.  The chosen mode is surfaced on every executed
+    :class:`EngineResult` and aggregated in :meth:`cache_stats`.
+
     ``fallback_breaker`` (optional, duck-typed: ``allow()`` /
     ``record_success()`` / ``record_failure()``, e.g. a
     :class:`~repro.serving.policy.CircuitBreaker`) guards the *unbounded*
@@ -215,6 +226,7 @@ class BoundedEngine:
         optimize: bool = True,
         granular_invalidation: bool = True,
         fallback_breaker: object | None = None,
+        executor_mode: str = "auto",
     ):
         self.database = database
         self.access_schema = access_schema
@@ -227,7 +239,7 @@ class BoundedEngine:
             self.index_build_seconds = time.perf_counter() - started
         else:
             self.indexes = IndexSet()
-        self._executor = PlanExecutor(database, self.indexes)
+        self._executor = PlanExecutor(database, self.indexes, mode=executor_mode)
         self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.optimize = optimize
@@ -383,6 +395,7 @@ class BoundedEngine:
                 minimization=prepared.minimization,
                 rewrite=prepared.rewrite,
                 cached=cached,
+                executor_mode=execution.executor_mode,
             )
 
         if not fallback:
@@ -515,8 +528,15 @@ class BoundedEngine:
         }
 
     def cache_stats(self) -> dict[str, dict[str, int | float]]:
-        """Plan-store and result-cache statistics, reported separately."""
+        """Plan-store, result-cache and executor statistics, reported separately.
+
+        The ``executor`` section audits the row-vs-columnar choices: how many
+        executions each kernel family served, how ``auto`` resolved at
+        compile time, and the cumulative kernel-batch / rows-processed
+        volume.
+        """
         return {
             "plan_store": self.plan_cache.stats(),
             "result_cache": self.result_cache.stats(),
+            "executor": self._executor.stats(),
         }

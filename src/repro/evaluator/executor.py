@@ -10,11 +10,26 @@ the experiments is exact.
 Plans are executed in two phases.  ``compile`` lowers every step to a small
 kernel closure with all name-to-position resolution, predicate compilation
 and index lookup done once up front; ``execute`` then pipelines the kernels
-over mutable-set intermediates, freezing only the output step into the
-returned :class:`~repro.evaluator.algebra.ResultSet`.  Compiled plans are
-memoized per plan object (the hot path of :class:`~repro.core.engine.
-BoundedEngine` executes the same cached plan over and over), so a warm
-execution does no per-step interpretation work beyond running the kernels.
+over the step environment, freezing only the output step into the returned
+:class:`~repro.evaluator.algebra.ResultSet`.  Compiled plans are memoized
+per plan object (the hot path of :class:`~repro.core.engine.BoundedEngine`
+executes the same cached plan over and over), so a warm execution does no
+per-step interpretation work beyond running the kernels.
+
+Two execution modes share the :class:`CompiledPlan` seam:
+
+* **row** — the original tuple-at-a-time kernels over mutable-set
+  intermediates (best for tiny/point plans, where batch setup would
+  dominate);
+* **columnar** — the batch-wise kernels of :mod:`repro.evaluator.columnar`
+  over :class:`~repro.evaluator.columnar.ColumnBatch` intermediates (the
+  cold-path fast mode: vectorized selection, columnar hash joins, zero-copy
+  projection, dictionary-encoded string columns).
+
+The executor's ``mode`` is ``"row"``, ``"columnar"``, or ``"auto"``, in
+which case :func:`repro.core.optimizer.choose_executor_mode` picks per plan
+from its static bounds.  Both modes produce identical frozen row sets — a
+property pinned by the randomized equivalence tests.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from ..storage.counters import AccessCounter
 from ..storage.database import Database
 from ..storage.index import ConstraintIndex, IndexSet
 from .algebra import ResultSet, _compare
+from .columnar import ColumnarCompiler, FetchEncoder
 
 Row = tuple
 
@@ -56,15 +72,28 @@ Kernel = Callable[[list, AccessCounter], "set[Row] | frozenset[Row]"]
 #: how many compiled plans each executor keeps around
 _COMPILED_CACHE_SIZE = 64
 
+#: valid executor modes ("auto" resolves per plan at compile time)
+EXECUTOR_MODES = ("auto", "row", "columnar")
+
 
 @dataclass
 class ExecutionResult:
-    """The outcome of executing a bounded plan."""
+    """The outcome of executing a bounded plan.
+
+    ``executor_mode`` names the kernel family that ran (``"row"`` or
+    ``"columnar"``); ``kernel_batches`` counts kernel invocations and
+    ``rows_processed`` the total rows emitted across all steps, so the
+    optimizer's row-vs-columnar choices are auditable per execution.
+    ``step_cardinalities`` breaks ``rows_processed`` down per step.
+    """
 
     result: ResultSet
     counter: AccessCounter
     elapsed: float
     step_cardinalities: Mapping[int, int] = field(default_factory=dict)
+    executor_mode: str = "row"
+    kernel_batches: int = 0
+    rows_processed: int = 0
 
     @property
     def rows(self) -> frozenset[Row]:
@@ -81,12 +110,21 @@ class ExecutionResult:
 
 @dataclass
 class CompiledPlan:
-    """A bounded plan lowered to per-step kernels, ready for repeated runs."""
+    """A bounded plan lowered to per-step kernels, ready for repeated runs.
+
+    ``mode`` records which kernel family the plan was lowered to: ``"row"``
+    kernels exchange sets of row tuples through the environment,
+    ``"columnar"`` kernels exchange :class:`~repro.evaluator.columnar.
+    ColumnBatch` instances.  The freeze back to the row-set contract happens
+    in :meth:`PlanExecutor.execute`, so every consumer downstream of the
+    executor sees identical results either way.
+    """
 
     plan: BoundedPlan
     kernels: tuple[Kernel, ...]
     columns: tuple[tuple[str, ...], ...]
     output: int
+    mode: str = "row"
 
 
 def _column_positions(columns: Sequence[str]) -> dict[str, int]:
@@ -108,12 +146,49 @@ def _position_of(positions: Mapping[str, int], column: str, step: PlanStep) -> i
 
 
 class PlanExecutor:
-    """Executes bounded plans against a database through its constraint indexes."""
+    """Executes bounded plans against a database through its constraint indexes.
 
-    def __init__(self, database: Database, indexes: IndexSet):
+    ``mode`` selects the kernel family plans are lowered to: ``"row"``,
+    ``"columnar"``, or ``"auto"`` (per-plan cost-based choice via
+    :func:`repro.core.optimizer.choose_executor_mode`).
+    ``columnar_dictionary`` enables dictionary encoding of string columns in
+    columnar fetches (persistent per-index dictionaries, amortized across
+    executions).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        indexes: IndexSet,
+        *,
+        mode: str = "row",
+        columnar_dictionary: bool = True,
+    ):
+        if mode not in EXECUTOR_MODES:
+            raise PlanError(
+                f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+            )
         self.database = database
         self.indexes = indexes
+        self.mode = mode
+        self.columnar_dictionary = columnar_dictionary
         self._compiled: OrderedDict[int, CompiledPlan] = OrderedDict()
+        #: index id -> {column position -> Dictionary}; keyed by identity and
+        #: kept alongside the index handles the compiled kernels close over.
+        self._fetch_dictionaries: dict[int, dict] = {}
+        self._counters = {
+            "row_executions": 0,
+            "columnar_executions": 0,
+            "kernel_batches": 0,
+            "rows_processed": 0,
+            "auto_row_choices": 0,
+            "auto_columnar_choices": 0,
+        }
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative executor observability: executions by mode, kernel
+        batches run, rows processed, and how ``auto`` resolved per compile."""
+        return dict(self._counters)
 
     def execute(
         self, plan: BoundedPlan, counter: AccessCounter | None = None
@@ -128,16 +203,26 @@ class PlanExecutor:
             rows = kernel(env, counter)
             env[step_id] = rows
             cardinalities[step_id] = len(rows)
+        output = env[compiled.output]
         result = ResultSet(
             columns=compiled.columns[compiled.output],
-            rows=frozenset(env[compiled.output]),
+            rows=output.to_frozenset()
+            if compiled.mode == "columnar"
+            else frozenset(output),
         )
         elapsed = time.perf_counter() - started
+        rows_processed = sum(cardinalities.values())
+        self._counters[f"{compiled.mode}_executions"] += 1
+        self._counters["kernel_batches"] += len(compiled.kernels)
+        self._counters["rows_processed"] += rows_processed
         return ExecutionResult(
             result=result,
             counter=counter,
             elapsed=elapsed,
             step_cardinalities=cardinalities,
+            executor_mode=compiled.mode,
+            kernel_batches=len(compiled.kernels),
+            rows_processed=rows_processed,
         )
 
     # ------------------------------------------------------------------
@@ -164,7 +249,37 @@ class PlanExecutor:
         if cached is not None and cached.plan is plan:
             del self._compiled[id(plan)]
 
+    def _resolve_mode(self, plan: BoundedPlan) -> str:
+        """The kernel family for ``plan``: forced, or cost-chosen for auto."""
+        if self.mode != "auto":
+            return self.mode
+        from ..core.optimizer import choose_executor_mode  # lazy: avoids a cycle
+
+        mode = choose_executor_mode(plan)
+        self._counters[f"auto_{mode}_choices"] += 1
+        return mode
+
+    def _encoder_for(self, index: ConstraintIndex) -> FetchEncoder | None:
+        if not self.columnar_dictionary:
+            return None
+        return FetchEncoder(self._fetch_dictionaries.setdefault(id(index), {}))
+
     def _compile(self, plan: BoundedPlan) -> CompiledPlan:
+        mode = self._resolve_mode(plan)
+        if mode == "columnar":
+            compiler = ColumnarCompiler(
+                plan,
+                lambda constraint: self._resolve_index(plan, constraint),
+                self._encoder_for,
+            )
+            kernels, columns = compiler.compile()
+            return CompiledPlan(
+                plan=plan,
+                kernels=kernels,
+                columns=columns,
+                output=plan.output,
+                mode="columnar",
+            )
         kernels: list[Kernel] = []
         columns: list[tuple[str, ...]] = []
         for position, step in enumerate(plan.steps):
@@ -376,6 +491,8 @@ def execute_plan(
     database: Database,
     indexes: IndexSet,
     counter: AccessCounter | None = None,
+    *,
+    mode: str = "row",
 ) -> ExecutionResult:
     """Convenience wrapper around :class:`PlanExecutor`."""
-    return PlanExecutor(database, indexes).execute(plan, counter)
+    return PlanExecutor(database, indexes, mode=mode).execute(plan, counter)

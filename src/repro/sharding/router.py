@@ -52,13 +52,25 @@ from ..core.errors import (
     TransientFault,
 )
 from ..core.fingerprint import prepared_cache_key
-from ..core.plan import BoundedPlan, FetchOp, PlanStep
+from dataclasses import replace
+
+from ..core.plan import (
+    BoundedPlan,
+    FetchOp,
+    HashJoinOp,
+    PlanStep,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    SelectOp,
+)
 from ..core.planstore import PlanStore, ResultCache
 from ..core.query import Query
 from ..evaluator.baseline import evaluate_conventional
 from ..evaluator.executor import (
     PlanExecutor,
     _column_positions,
+    _compile_predicates,
     _position_of,
 )
 from ..serving.metrics import LatencyRecorder
@@ -83,6 +95,10 @@ class RouterMetrics:
         self.routed = 0
         #: scatters sent to every shard (key does not include partition attr)
         self.broadcasts = 0
+        #: scatters that carried a pushed-down select predicate, and the rows
+        #: the shards dropped before the merge because of it
+        self.select_pushdowns = 0
+        self.pushdown_rows_filtered = 0
         #: merged-union sizes, aggregated
         self.merges = 0
         self.merge_rows = 0
@@ -107,6 +123,8 @@ class RouterMetrics:
             "shard_fetches": self.shard_fetches,
             "routed": self.routed,
             "broadcasts": self.broadcasts,
+            "select_pushdowns": self.select_pushdowns,
+            "pushdown_rows_filtered": self.pushdown_rows_filtered,
             "merges": self.merges,
             "merge_rows": self.merge_rows,
             "merge_rows_max": self.merge_rows_max,
@@ -118,6 +136,118 @@ class RouterMetrics:
         }
 
 
+def _trace_to_fetch(
+    plan: BoundedPlan, consumers: dict[int, int], step_id: int, column: str
+) -> tuple[int, str] | None:
+    """Follow ``column`` backwards from ``step_id`` to the fetch producing it.
+
+    Returns ``(fetch step id, column name at the fetch)`` when the whole path
+    consists of single-consumer, row-wise monotone steps (project, rename,
+    select, product, hash join) — the steps where dropping an input row only
+    ever drops the output rows derived from it and preserves the traced
+    column's value.  Any other operator (set operations especially: dropping
+    a row from a difference's subtrahend would *add* result rows), a step
+    with additional consumers, or a dead end returns ``None``.
+    """
+    while True:
+        if consumers.get(step_id, 0) != 1:
+            return None
+        op = plan.steps[step_id].op
+        if isinstance(op, FetchOp):
+            return (step_id, column) if column in plan.steps[step_id].columns else None
+        if isinstance(op, ProjectOp):
+            names = op.output_names if op.output_names is not None else op.columns
+            if column not in names:
+                return None
+            column = op.columns[names.index(column)]
+            step_id = op.inputs[0]
+        elif isinstance(op, RenameOp):
+            reverse = {new: old for old, new in op.mapping.items()}
+            column = reverse.get(column, column)
+            step_id = op.inputs[0]
+        elif isinstance(op, SelectOp):
+            step_id = op.inputs[0]
+        elif isinstance(op, (ProductOp, HashJoinOp)):
+            left, right = op.inputs
+            if column in plan.steps[left].columns:
+                step_id = left
+            elif column in plan.steps[right].columns:
+                step_id = right
+            else:
+                return None
+        else:
+            return None
+
+
+def _pushdown_sites(
+    plan: BoundedPlan,
+) -> tuple[dict[int, int], dict[int, list]]:
+    """Shard-pushable selection work: ``(fused selects, per-fetch filters)``.
+
+    Soundness rests on selection distributing over union: a federated fetch
+    is the union of per-shard fetches, so ``σ(∪ₛ fetchₛ) = ∪ₛ σ(fetchₛ)`` —
+    filtering on each shard before the merge equals filtering centrally
+    after it, with fewer rows crossing the shard boundary.  Two shapes:
+
+    * ``fused``: a select sitting *directly* on a single-consumer fetch.
+      The whole conjunction moves into the scatter and the select step
+      becomes a passthrough.
+    * ``filters``: a constant predicate of any select or hash-join residual
+      whose column traces back (:func:`_trace_to_fetch`) through a
+      single-consumer monotone chain to a fetch.  The shards pre-filter the
+      partials (every dropped row could only have produced rows the central
+      predicate would drop anyway) while the central check stays in place
+      for the surviving rows.
+    """
+    consumers: dict[int, int] = {}
+    for step in plan.steps:
+        for source in step.op.inputs:
+            consumers[source] = consumers.get(source, 0) + 1
+    consumers[plan.output] = consumers.get(plan.output, 0) + 1
+
+    fused: dict[int, int] = {}
+    filters: dict[int, list] = {}
+    for step in plan.steps:
+        op = step.op
+        if isinstance(op, SelectOp):
+            source = op.inputs[0]
+            if (
+                isinstance(plan.steps[source].op, FetchOp)
+                and consumers.get(source, 0) == 1
+            ):
+                fused[step.id] = source
+                filters.setdefault(source, []).extend(op.predicates)
+                continue
+            candidates = op.predicates
+            start = source
+        elif isinstance(op, HashJoinOp):
+            candidates = op.residual
+            start = None  # resolved per predicate: either join input
+        else:
+            continue
+        for predicate in candidates:
+            if predicate.right_is_column:
+                continue
+            if start is None:
+                left, right = op.inputs
+                if predicate.left in plan.steps[left].columns:
+                    origin = left
+                elif predicate.left in plan.steps[right].columns:
+                    origin = right
+                else:
+                    continue
+            else:
+                origin = start
+            site = _trace_to_fetch(plan, consumers, origin, predicate.left)
+            if site is None:
+                continue
+            fetch_id, fetch_column = site
+            filters.setdefault(fetch_id, []).append(
+                replace(predicate, left=fetch_column)
+            )
+    return fused, filters
+
+
 class FederatedExecutor(PlanExecutor):
     """A :class:`PlanExecutor` whose fetch kernels scatter across shards.
 
@@ -127,6 +257,14 @@ class FederatedExecutor(PlanExecutor):
     ``_compile_fetch`` is replaced: instead of closing over one
     :class:`~repro.storage.index.ConstraintIndex`, the kernel computes the
     step's distinct keys and hands them to the router's scatter/gather.
+
+    One extra federation-only rewrite applies: selection work is **pushed
+    into the scatter** (:func:`_pushdown_sites`) — a select sitting directly
+    on a single-consumer fetch moves wholesale (the select step becomes a
+    passthrough), and constant predicates of downstream selects or join
+    residuals whose columns trace back to a fetch pre-filter its partials on
+    the shards.  Access accounting is unchanged — shards count every tuple
+    the index lookup touches, filtered or not.
     """
 
     def __init__(self, router: "ShardRouter"):
@@ -134,6 +272,28 @@ class FederatedExecutor(PlanExecutor):
         # other kernel reads ``self.database``.
         super().__init__(None, IndexSet())  # type: ignore[arg-type]
         self.router = router
+        #: select step id -> fetch step id, for the plan currently compiling
+        self._fused: dict[int, int] = {}
+        #: fetch step id -> predicates the shards apply before shipping
+        self._fetch_filters: dict[int, list] = {}
+
+    def _compile(self, plan: BoundedPlan):
+        self._fused, self._fetch_filters = _pushdown_sites(plan)
+        try:
+            return super()._compile(plan)
+        finally:
+            self._fused = {}
+            self._fetch_filters = {}
+
+    def _compile_step(
+        self, plan: BoundedPlan, step: PlanStep, columns: list[tuple[str, ...]]
+    ) -> tuple[Callable, tuple[str, ...]]:
+        fused_source = self._fused.get(step.id)
+        if fused_source is not None:
+            # The selection already ran shard-side, inside its fetch.
+            kernel = lambda env, counter, _src=fused_source: env[_src]  # noqa: E731
+            return kernel, columns[fused_source]
+        return super()._compile_step(plan, step, columns)
 
     def _compile_fetch(
         self, plan: BoundedPlan, step: PlanStep, source_columns: tuple[str, ...]
@@ -154,15 +314,26 @@ class FederatedExecutor(PlanExecutor):
         routed_position = (
             lhs.index(partition_attribute) if partition_attribute in lhs else None
         )
+        pushed = self._fetch_filters.get(step.id)
+        matcher = (
+            _compile_predicates(tuple(pushed), step.columns) if pushed else None
+        )
         router = self.router
 
         def fetch_kernel(
-            env, counter, _src=source, _kp=key_positions, _rp=routed_position
+            env,
+            counter,
+            _src=source,
+            _kp=key_positions,
+            _rp=routed_position,
+            _pred=matcher,
         ):
             keys: set[Row] = set()
             for row in env[_src]:
                 keys.add(tuple(row[p] for p in _kp))
-            return router._scatter_fetch(constraint, base, keys, _rp, counter)
+            return router._scatter_fetch(
+                constraint, base, keys, _rp, counter, predicate=_pred
+            )
 
         # Index tuples are aligned with sorted(lhs | rhs); so are the step's columns.
         return fetch_kernel, step.columns
@@ -352,9 +523,16 @@ class ShardRouter:
         keys: set[Row],
         routed_position: int | None,
         counter: AccessCounter,
+        predicate: Callable[[Row], bool] | None = None,
     ) -> set[Row]:
-        """One federated fetch step: route or broadcast keys, union partials."""
+        """One federated fetch step: route or broadcast keys, union partials.
+
+        ``predicate`` is a pushed-down selection each shard applies before
+        shipping its partial; accessed-tuple accounting is unaffected.
+        """
         self.metrics.scatters += 1
+        if predicate is not None:
+            self.metrics.select_pushdowns += 1
         if not keys:
             # No input rows → no keys → fetch nothing (the SQLite empty-LHS
             # path would otherwise return its whole index table).
@@ -375,16 +553,28 @@ class ShardRouter:
             groups = [(self.shards[i], buckets[i]) for i in sorted(buckets)]
             self.metrics.routed += 1
         merged: set[Row] = set()
+        accessed_before = counter.fetched if counter is not None else 0
+        shipped = 0
         for shard, shard_keys in groups:
             if not shard_keys:
                 continue
             started = time.perf_counter()
-            partial = shard.fetch(constraint, base_relation, shard_keys, counter)
+            partial = shard.fetch(
+                constraint, base_relation, shard_keys, counter, predicate
+            )
             self.metrics.latency.observe(
                 f"shard:{shard.name}", time.perf_counter() - started
             )
             self.metrics.shard_fetches += 1
+            shipped += len(partial)
             merged.update(partial)
+        if predicate is not None and counter is not None:
+            # Shards count every accessed tuple pre-filter (per-shard partials
+            # are duplicate-free), so the accounting delta minus what shipped
+            # is exactly the rows the pushdown kept off the wire.
+            self.metrics.pushdown_rows_filtered += (
+                counter.fetched - accessed_before - shipped
+            )
         self.metrics.observe_merge(len(merged))
         return merged
 
@@ -522,10 +712,11 @@ class ShardRouter:
 
     # -- reporting ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, dict[str, int | float]]:
-        """Plan-store and result-cache statistics (the engine's interface)."""
+        """Plan-store, result-cache and executor statistics (the engine's interface)."""
         return {
             "plan_store": self.plan_cache.stats(),
             "result_cache": self.result_cache.stats(),
+            "executor": self._executor.stats(),
         }
 
     def stats(self) -> dict:

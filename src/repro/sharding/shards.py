@@ -28,7 +28,7 @@ same run — the heterogeneity ROADMAP item 1 asks for.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..backends.sqlite import SQLiteBackend
 from ..core.access import AccessConstraint, AccessSchema
@@ -58,8 +58,17 @@ class Shard:
         base_relation: str,
         keys: Iterable[Sequence],
         counter: AccessCounter | None = None,
+        predicate: Callable[[Row], bool] | None = None,
     ) -> frozenset[Row]:
-        """Distinct index rows of ``constraint`` matching any key, this fragment only."""
+        """Distinct index rows of ``constraint`` matching any key, this fragment only.
+
+        ``predicate``, when given, is a row filter pushed down from a select
+        step sitting directly on the fetch: the shard applies it *after* the
+        index lookup (the tuples are still accessed and still counted — the
+        access bound is about data touched, not data shipped) but *before*
+        returning, so only matching rows cross the shard boundary and enter
+        the router's merge.
+        """
         raise NotImplementedError
 
     def relation_rows(self, relation: str) -> tuple[Row, ...]:
@@ -118,6 +127,7 @@ class EngineShard(Shard):
         base_relation: str,
         keys: Iterable[Sequence],
         counter: AccessCounter | None = None,
+        predicate: Callable[[Row], bool] | None = None,
     ) -> frozenset[Row]:
         indexes = self.engine.indexes
         index = indexes.get(constraint)
@@ -131,6 +141,8 @@ class EngineShard(Shard):
         rows: set[Row] = set()
         for key in keys:
             rows.update(index.lookup(key, counter))
+        if predicate is not None:
+            rows = set(filter(predicate, rows))
         return frozenset(rows)
 
     def apply_updates(self, updates: Iterable[Update]) -> MaintenanceReport:
@@ -161,10 +173,13 @@ class SQLiteShard(Shard):
         base_relation: str,
         keys: Iterable[Sequence],
         counter: AccessCounter | None = None,
+        predicate: Callable[[Row], bool] | None = None,
     ) -> frozenset[Row]:
         rows = self.backend.fetch_index(constraint, keys, base_relation=base_relation)
         if counter is not None:
             counter.record_fetch(base_relation, len(rows))
+        if predicate is not None:
+            rows = frozenset(filter(predicate, rows))
         return rows
 
     def apply_updates(self, updates: Iterable[Update]) -> MaintenanceReport:

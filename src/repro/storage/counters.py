@@ -43,6 +43,12 @@ class AccessCounter:
         self.index_probes += 1
         self.per_relation[relation] = self.per_relation.get(relation, 0) + count
 
+    def record_fetch_many(self, relation: str, probes: int, count: int) -> None:
+        """Aggregate form of :meth:`record_fetch` for bulk index lookups."""
+        self.fetched += count
+        self.index_probes += probes
+        self.per_relation[relation] = self.per_relation.get(relation, 0) + count
+
     def record_scan(self, relation: str, count: int) -> None:
         self.scanned += count
         self.per_relation[relation] = self.per_relation.get(relation, 0) + count

@@ -10,6 +10,7 @@ bounded incremental maintenance of Proposition 12.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.access import AccessConstraint, AccessSchema
@@ -96,6 +97,22 @@ class ConstraintIndex:
         if counter is not None:
             counter.record_fetch(self.relation_name, len(result))
         return result
+
+    def lookup_many(
+        self, keys: Iterable[Row], counter: AccessCounter | None = None
+    ) -> list[Row]:
+        """Concatenated :meth:`lookup` results for many ``X``-values.
+
+        Accounting is identical in aggregate (one probe per key, every
+        returned tuple counted), but the group gather runs at C speed —
+        this is the batch entry point used by the columnar executor's
+        fetch kernel.  Keys must already be tuples.
+        """
+        groups = list(map(self._entries.get, keys))
+        rows = list(chain.from_iterable(filter(None, groups)))
+        if counter is not None:
+            counter.record_fetch_many(self.relation_name, len(groups), len(rows))
+        return rows
 
     def keys(self) -> Iterator[Row]:
         return iter(self._entries)

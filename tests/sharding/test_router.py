@@ -121,8 +121,8 @@ def inject_racing_write(router, make_update):
     for shard in router.shards:
         original = shard.fetch
 
-        def racing(constraint, base, keys, counter=None, _original=original):
-            partial = _original(constraint, base, keys, counter)
+        def racing(constraint, base, keys, counter=None, predicate=None, _original=original):
+            partial = _original(constraint, base, keys, counter, predicate)
             update = make_update()
             if update is not None:
                 router.apply_updates([update])
@@ -293,3 +293,155 @@ class TestShardedSoak:
         assert report["checks"]["writes_routed"]
         assert report["config"]["faults"] is False  # chaos stays single-engine
         assert len(report["router"]["shards"]) == 3
+
+
+class TestSelectPushdown:
+    """Shard-side selection pushdown: fewer rows shipped, identical answers."""
+
+    @staticmethod
+    def _friend_fetch(builder, fb_access, source):
+        from repro.core.plan import FetchOp
+
+        psi1 = next(c for c in fb_access if c.name == "psi1")
+        return builder.add(
+            FetchOp(constraint=psi1, key_columns=("friend.pid",), inputs=(source,)),
+            ["friend.fid", "friend.pid"],
+        )
+
+    def test_select_directly_on_fetch_is_fused(self, fb_access):
+        from repro.core.plan import ColumnPredicate, ConstOp, PlanBuilder, ProjectOp, SelectOp
+        from repro.sharding.router import _pushdown_sites
+
+        builder = PlanBuilder(fb_access, occurrences={"friend": "friend"})
+        t0 = builder.add(ConstOp(value="p0", column="friend.pid"), ["friend.pid"])
+        t1 = self._friend_fetch(builder, fb_access, t0)
+        t2 = builder.add(
+            SelectOp(
+                predicates=(ColumnPredicate("friend.fid", "=", "p1"),), inputs=(t1,)
+            ),
+            ["friend.fid", "friend.pid"],
+        )
+        t3 = builder.add(
+            ProjectOp(columns=("friend.fid",), inputs=(t2,)), ["friend.fid"]
+        )
+        fused, filters = _pushdown_sites(builder.build(t3))
+        assert fused == {t2: t1}
+        assert [p.left for p in filters[t1]] == ["friend.fid"]
+
+    def test_residual_predicate_traces_through_project_to_fetch(self, fb_access):
+        from repro.core.plan import (
+            ColumnPredicate,
+            ConstOp,
+            HashJoinOp,
+            PlanBuilder,
+            ProjectOp,
+        )
+        from repro.sharding.router import _pushdown_sites
+
+        builder = PlanBuilder(fb_access, occurrences={"friend": "friend"})
+        t0 = builder.add(ConstOp(value="p0", column="friend.pid"), ["friend.pid"])
+        t1 = self._friend_fetch(builder, fb_access, t0)
+        t2 = builder.add(
+            ProjectOp(
+                columns=("friend.fid",),
+                inputs=(t1,),
+                output_names=("fid",),
+            ),
+            ["fid"],
+        )
+        t3 = builder.add(ConstOp(value="p1", column="other"), ["other"])
+        t4 = builder.add(
+            HashJoinOp(
+                pairs=(),
+                residual=(ColumnPredicate("fid", "=", "p1"),),
+                inputs=(t2, t3),
+            ),
+            ["fid", "other"],
+        )
+        fused, filters = _pushdown_sites(builder.build(t4))
+        assert not fused
+        # the residual's "fid" traced through the projection rename to the
+        # fetch's "friend.fid"
+        assert [p.left for p in filters[t1]] == ["friend.fid"]
+
+    def test_no_pushdown_through_set_operations_or_shared_fetches(self, fb_access):
+        from repro.core.plan import (
+            ColumnPredicate,
+            ConstOp,
+            PlanBuilder,
+            ProjectOp,
+            SelectOp,
+            UnionOp,
+        )
+        from repro.sharding.router import _pushdown_sites
+
+        builder = PlanBuilder(fb_access, occurrences={"friend": "friend"})
+        t0 = builder.add(ConstOp(value="p0", column="friend.pid"), ["friend.pid"])
+        t1 = self._friend_fetch(builder, fb_access, t0)
+        t2 = self._friend_fetch(builder, fb_access, t0)
+        t3 = builder.add(UnionOp(inputs=(t1, t2)), ["friend.fid", "friend.pid"])
+        t4 = builder.add(
+            SelectOp(
+                predicates=(ColumnPredicate("friend.fid", "=", "p1"),), inputs=(t3,)
+            ),
+            ["friend.fid", "friend.pid"],
+        )
+        fused, filters = _pushdown_sites(builder.build(t4))
+        assert not fused and not filters
+
+        # a fetch with two consumers must not be filtered either
+        builder = PlanBuilder(fb_access, occurrences={"friend": "friend"})
+        t0 = builder.add(ConstOp(value="p0", column="friend.pid"), ["friend.pid"])
+        t1 = self._friend_fetch(builder, fb_access, t0)
+        t2 = builder.add(
+            SelectOp(
+                predicates=(ColumnPredicate("friend.fid", "=", "p1"),), inputs=(t1,)
+            ),
+            ["friend.fid", "friend.pid"],
+        )
+        t3 = builder.add(
+            UnionOp(inputs=(t1, t2)), ["friend.fid", "friend.pid"]
+        )
+        fused, filters = _pushdown_sites(builder.build(t3))
+        assert not fused and not filters
+
+    def test_fused_select_executes_shard_side_with_identical_rows(self, fb_access):
+        from repro.core.plan import ColumnPredicate, ConstOp, PlanBuilder, SelectOp
+        from repro.evaluator.executor import execute_plan
+        from repro.storage.index import IndexSet
+
+        router, database = mirrored_topology(shards=3)
+        builder = PlanBuilder(fb_access, occurrences={"friend": "friend"})
+        t0 = builder.add(ConstOp(value="p0", column="friend.pid"), ["friend.pid"])
+        t1 = self._friend_fetch(builder, fb_access, t0)
+        fid = sorted(database.relation("friend").rows)[0][1]
+        t2 = builder.add(
+            SelectOp(
+                predicates=(ColumnPredicate("friend.fid", "=", fid),), inputs=(t1,)
+            ),
+            ["friend.fid", "friend.pid"],
+        )
+        plan = builder.build(t2)
+        federated = router._executor.execute(plan)
+        indexes = IndexSet.build(database, fb_access, check=False)
+        reference = execute_plan(plan, database, indexes)
+        assert federated.rows == reference.rows
+        assert router.metrics.select_pushdowns > 0
+        # only the selected rows crossed the shard boundary
+        assert router.metrics.merge_rows == len(reference.rows)
+        assert federated.counter.fetched == reference.counter.fetched
+
+    def test_federated_pushdown_on_optimized_workload_plans(self):
+        from repro.bench.analytic import analytic_queries
+        from repro.sharding import build_topology
+        from repro.workloads import WORKLOADS
+
+        workload = WORKLOADS["TFACC"]
+        database = workload.database(scale=120, seed=7)
+        router = build_topology(database, workload.access_schema, shards=3)
+        for query in analytic_queries(workload):
+            assert router.execute(query).rows == evaluate(query, database).rows
+        metrics = router.metrics.snapshot()
+        assert metrics["select_pushdowns"] > 0
+        assert metrics["pushdown_rows_filtered"] > 0
+        assert "executor" in router.cache_stats()
