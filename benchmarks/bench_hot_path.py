@@ -29,11 +29,25 @@ constraint-granular invalidation against the legacy clear-all mode
 must cause **zero** plan recompilations and zero re-executions (asserted via
 cache stats); with clear-all every write flushes both caches.  Afterwards a
 *dependent* write is applied and results are cross-checked row-for-row
-against the uncached reference evaluator on the changed data.
+against the uncached reference evaluator on the changed data.  Both engines
+run with delta repair off — this scenario isolates the invalidation
+granularity, the next one isolates repair.
+
+**Delta repair** — repeated queries interleaved with *dependent* writes (a
+delete/re-insert pair on a relation every query reads), comparing delta
+repair (``delta_repair=True``, the default) against invalidate-and-recompute
+(``delta_repair=False``).  The repairing engine must actually repair
+(asserted via ``repaired`` in cache stats) and both engines' rows are
+cross-checked against the uncached reference evaluator after the write mix.
+The report records per-workload ``delta_qps`` and the repair/invalidate
+``speedup``.
 
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_hot_path.py --quick --output BENCH_hot_path.json
+
+``--mode`` limits the run to one scenario (``read``, ``cold``, ``mixed``,
+``delta``; default ``all``).
 
 The JSON report records per-workload throughput, the speedups, and the
 engine's cache statistics, so the perf trajectory is a tracked number (see
@@ -72,6 +86,16 @@ def _stats_delta(before: dict, after: dict) -> dict:
         for key, value in counters.items():
             if key in ("capacity", "entries"):
                 cache_delta[key] = value
+            elif isinstance(value, dict):
+                # dict-valued counters (invalidated_by, repair_fallback_reasons):
+                # per-key deltas, dropping keys that saw no traffic
+                base_map = base.get(key, {})
+                sub = {
+                    k: v - base_map.get(k, 0)
+                    for k, v in value.items()
+                    if v - base_map.get(k, 0)
+                }
+                cache_delta[key] = sub
             elif key != "hit_rate":
                 cache_delta[key] = value - base.get(key, 0)
         requests = cache_delta.get("hits", 0) + cache_delta.get("misses", 0)
@@ -228,11 +252,14 @@ def bench_cold_path(name: str, *, scale: int, repeats: int) -> dict:
 
 
 def _mixed_engine(database, workload, *, granular: bool) -> BoundedEngine:
+    # Delta repair off: this scenario compares invalidation *granularity*;
+    # the delta scenario below isolates repair itself.
     return BoundedEngine(
         database,
         workload.access_schema,
         check_constraints=False,
         granular_invalidation=granular,
+        delta_repair=False,
     )
 
 
@@ -349,6 +376,103 @@ def bench_mixed(name: str, *, scale: int, query_count: int, batches: int,
     }
 
 
+def bench_delta(name: str, *, scale: int, query_count: int, batches: int,
+                reads_per_batch: int) -> dict:
+    """Interleave *dependent* writes with repeated reads: repair vs recompute.
+
+    Each write event deletes and re-inserts one existing row of a relation
+    every query depends on, so both engines must settle their result caches
+    on every write.  The repairing engine patches (or cleanly re-stamps)
+    entries and keeps serving cache hits; the recomputing engine drops them
+    and pays a full plan execution per query per batch.  The data returns to
+    its initial state after each event, so the fixed reference stays valid.
+    """
+    workload = WORKLOADS[name]
+
+    def setup(delta_repair: bool):
+        database = workload.database(scale=scale, seed=7)
+        queries = select_covered_queries(
+            workload, count=query_count, seed=7, database=database
+        )
+        engine = BoundedEngine(
+            database,
+            workload.access_schema,
+            check_constraints=False,
+            delta_repair=delta_repair,
+        )
+        return database, queries, engine
+
+    database, queries, probe = setup(True)
+    if not queries:
+        return {"workload": name, "skipped": "no covered queries generated"}
+    dependencies: set[str] = set()
+    for query in queries:
+        prepared, _ = probe.prepare(query)
+        dependencies.update(prepared.dependencies)
+    shared = [r for r in sorted(dependencies) if len(database.relation(r)) > 0]
+    if not shared:
+        return {"workload": name, "skipped": "no populated dependent relation"}
+    write_relation = shared[0]
+
+    results: dict[str, dict] = {}
+    for mode, delta_repair in (("repair", True), ("invalidate", False)):
+        database, queries, engine = setup(delta_repair)
+        write_row = next(iter(database.relation(write_relation)))
+        expected = {id(q): evaluate(q, database).rows for q in queries}
+        for query in queries:  # warm both caches
+            engine.execute(query)
+        before = engine.cache_stats()
+        reads = 0
+        started = time.perf_counter()
+        for _ in range(batches):
+            engine.apply_delete(write_relation, write_row)
+            engine.apply_insert(write_relation, write_row)
+            for _ in range(reads_per_batch):
+                for query in queries:
+                    engine.execute(query)
+                    reads += 1
+        elapsed = time.perf_counter() - started
+        measured = _stats_delta(before, engine.cache_stats())
+        for query in queries:  # rows must still match the uncached reference
+            if engine.execute(query).rows != expected[id(query)]:
+                raise AssertionError(f"{name}/{mode}: delta-scenario row mismatch")
+            if engine.execute(query).rows != evaluate(query, database).rows:
+                raise AssertionError(f"{name}/{mode}: reference drift")
+        cache = measured["result_cache"]
+        if delta_repair and cache.get("repaired", 0) == 0:
+            raise AssertionError(
+                f"{name}: repair mode never repaired an entry on "
+                f"{2 * batches} dependent writes "
+                f"(fallbacks: {cache.get('repair_fallback_reasons')})"
+            )
+        results[mode] = {
+            "qps": round(reads / elapsed, 2) if elapsed > 0 else float("inf"),
+            "reads": reads,
+            "writes": 2 * batches,
+            "repaired": cache.get("repaired", 0),
+            "repaired_clean": cache.get("repaired_clean", 0),
+            "rows_patched": cache.get("rows_patched", 0),
+            "repair_fallbacks": cache.get("repair_fallbacks", 0),
+            "invalidated": cache.get("invalidated", 0),
+            "result_cache_hits": cache.get("hits", 0),
+        }
+
+    repair_qps = results["repair"]["qps"]
+    invalidate_qps = results["invalidate"]["qps"]
+    return {
+        "workload": name,
+        "scale": scale,
+        "queries": len(queries),
+        "write_relation": write_relation,
+        "delta_qps": repair_qps,
+        "repair": results["repair"],
+        "invalidate": results["invalidate"],
+        "speedup": (
+            round(repair_qps / invalidate_qps, 2) if invalidate_qps else None
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -358,7 +482,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queries", type=int, default=None, help="covered queries per workload")
     parser.add_argument("--repeats", type=int, default=None, help="passes over the query set")
     parser.add_argument("--write-batches", type=int, default=None,
-                        help="write events in the mixed scenario")
+                        help="write events in the mixed and delta scenarios")
+    parser.add_argument(
+        "--mode", choices=("all", "read", "cold", "mixed", "delta"), default="all",
+        help="run only one scenario family (default: all)",
+    )
     parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON report to this path"
     )
@@ -371,53 +499,77 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     mixed_results = []
-    for name in sorted(WORKLOADS):
-        result = bench_workload(
-            name, scale=scale, query_count=query_count, repeats=repeats
-        )
-        results.append(result)
-        if "skipped" in result:
-            print(f"{name}: skipped ({result['skipped']})")
-            continue
-        print(
-            f"{name}: cold {result['cold_qps']:.1f} q/s, "
-            f"warm-plan {result['warm_plan_qps']:.1f} q/s, "
-            f"warm {result['warm_qps']:.1f} q/s, "
-            f"speedup {result['speedup']:.2f}x "
-            f"(plan hit rate {result['cache']['plan_store']['hit_rate']:.2f}, "
-            f"result hit rate {result['cache']['result_cache']['hit_rate']:.2f})"
-        )
+    if args.mode in ("all", "read"):
+        for name in sorted(WORKLOADS):
+            result = bench_workload(
+                name, scale=scale, query_count=query_count, repeats=repeats
+            )
+            results.append(result)
+            if "skipped" in result:
+                print(f"{name}: skipped ({result['skipped']})")
+                continue
+            print(
+                f"{name}: cold {result['cold_qps']:.1f} q/s, "
+                f"warm-plan {result['warm_plan_qps']:.1f} q/s, "
+                f"warm {result['warm_qps']:.1f} q/s, "
+                f"speedup {result['speedup']:.2f}x "
+                f"(plan hit rate {result['cache']['plan_store']['hit_rate']:.2f}, "
+                f"result hit rate {result['cache']['result_cache']['hit_rate']:.2f})"
+            )
 
     cold_results = []
-    for name in sorted(WORKLOADS):
-        cold = bench_cold_path(name, scale=scale, repeats=repeats)
-        cold_results.append(cold)
-        if "skipped" in cold:
-            print(f"{name} cold-path: skipped ({cold['skipped']})")
-            continue
-        print(
-            f"{name} cold-path: row {cold['cold_row_qps']:.1f} q/s, "
-            f"columnar {cold['cold_columnar_qps']:.1f} q/s, "
-            f"auto {cold['cold_qps']:.1f} q/s, "
-            f"columnar speedup {cold['columnar_speedup']:.2f}x "
-            f"(bounds {cold['access_bounds']})"
-        )
+    if args.mode in ("all", "cold"):
+        for name in sorted(WORKLOADS):
+            cold = bench_cold_path(name, scale=scale, repeats=repeats)
+            cold_results.append(cold)
+            if "skipped" in cold:
+                print(f"{name} cold-path: skipped ({cold['skipped']})")
+                continue
+            print(
+                f"{name} cold-path: row {cold['cold_row_qps']:.1f} q/s, "
+                f"columnar {cold['cold_columnar_qps']:.1f} q/s, "
+                f"auto {cold['cold_qps']:.1f} q/s, "
+                f"columnar speedup {cold['columnar_speedup']:.2f}x "
+                f"(bounds {cold['access_bounds']})"
+            )
 
-    for name in sorted(WORKLOADS):
-        mixed = bench_mixed(
-            name, scale=scale, query_count=query_count,
-            batches=batches, reads_per_batch=max(1, repeats),
-        )
-        mixed_results.append(mixed)
-        if "skipped" in mixed:
-            print(f"{name} mixed: skipped ({mixed['skipped']})")
-            continue
-        print(
-            f"{name} mixed: granular {mixed['granular']['qps']:.1f} q/s "
-            f"(0 invalidations on {mixed['granular']['writes']} unrelated writes), "
-            f"clear-all {mixed['clear_all']['qps']:.1f} q/s, "
-            f"speedup {mixed['speedup']:.2f}x"
-        )
+    if args.mode in ("all", "mixed"):
+        for name in sorted(WORKLOADS):
+            mixed = bench_mixed(
+                name, scale=scale, query_count=query_count,
+                batches=batches, reads_per_batch=max(1, repeats),
+            )
+            mixed_results.append(mixed)
+            if "skipped" in mixed:
+                print(f"{name} mixed: skipped ({mixed['skipped']})")
+                continue
+            print(
+                f"{name} mixed: granular {mixed['granular']['qps']:.1f} q/s "
+                f"(0 invalidations on {mixed['granular']['writes']} unrelated writes), "
+                f"clear-all {mixed['clear_all']['qps']:.1f} q/s, "
+                f"speedup {mixed['speedup']:.2f}x"
+            )
+
+    delta_results = []
+    if args.mode in ("all", "delta"):
+        for name in sorted(WORKLOADS):
+            delta = bench_delta(
+                name, scale=scale, query_count=query_count,
+                batches=batches, reads_per_batch=max(1, repeats),
+            )
+            delta_results.append(delta)
+            if "skipped" in delta:
+                print(f"{name} delta: skipped ({delta['skipped']})")
+                continue
+            print(
+                f"{name} delta: repair {delta['repair']['qps']:.1f} q/s "
+                f"({delta['repair']['repaired']} repairs, "
+                f"{delta['repair']['rows_patched']} rows patched, "
+                f"{delta['repair']['repair_fallbacks']} fallbacks), "
+                f"invalidate {delta['invalidate']['qps']:.1f} q/s "
+                f"({delta['invalidate']['invalidated']} invalidations), "
+                f"speedup {delta['speedup']:.2f}x"
+            )
 
     measured = [r for r in results if "speedup" in r and r["speedup"] is not None]
     overall = (
@@ -441,6 +593,14 @@ def main(argv: list[str] | None = None) -> int:
         if measured_cold
         else None
     )
+    measured_delta = [
+        r for r in delta_results if r.get("speedup") is not None
+    ]
+    overall_delta = (
+        round(sum(r["speedup"] for r in measured_delta) / len(measured_delta), 2)
+        if measured_delta
+        else None
+    )
     report = {
         "benchmark": "hot_path",
         "mode": "quick" if args.quick else "full",
@@ -449,13 +609,16 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": results,
         "cold_path": cold_results,
         "mixed": mixed_results,
+        "delta": delta_results,
         "mean_speedup": overall,
         "mean_mixed_speedup": overall_mixed,
         "mean_columnar_speedup": overall_cold,
+        "mean_delta_speedup": overall_delta,
     }
     print(f"mean warm/cold speedup: {overall}x")
     print(f"mean granular/clear-all mixed speedup: {overall_mixed}x")
     print(f"mean columnar/row cold-path speedup: {overall_cold}x")
+    print(f"mean repair/invalidate delta speedup: {overall_delta}x")
 
     if args.output is not None:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

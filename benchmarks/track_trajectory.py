@@ -15,7 +15,9 @@ baseline vs a CI runner) the gate falls back to the dimensionless
 over re-planning independently of how fast the hardware is.  Cold-path
 execution throughput (``cold_qps``, from the analytic-query scenario) is
 gated the same way, with the dimensionless columnar/row speedup as its
-cross-host fallback.
+cross-host fallback; so is delta-maintenance throughput (``delta_qps``,
+from the dependent-write scenario), with the repair/invalidate speedup as
+its cross-host fallback.
 
 Usage (as wired into CI)::
 
@@ -123,6 +125,11 @@ def entry_from_report(report: dict) -> dict:
         for c in report.get("cold_path", [])
         if c.get("cold_qps")
     }
+    delta_qps = {
+        d["workload"]: d["delta_qps"]
+        for d in report.get("delta", [])
+        if d.get("delta_qps")
+    }
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _git_commit(),
@@ -133,6 +140,8 @@ def entry_from_report(report: dict) -> dict:
         "mixed_speedup": mixed_speedup,
         "cold_qps": cold_qps,
         "mean_columnar_speedup": report.get("mean_columnar_speedup"),
+        "delta_qps": delta_qps,
+        "mean_delta_speedup": report.get("mean_delta_speedup"),
     }
 
 
@@ -224,6 +233,21 @@ def main(argv: list[str] | None = None) -> int:
             gates.append((
                 "columnar/row speedup (cross-host)",
                 (cur_cs / prev_cs) if prev_cs and cur_cs else None,
+            ))
+    if entry.get("delta_qps") and previous.get("delta_qps"):
+        if same_host:
+            gates.append((
+                "delta-repair throughput",
+                regression_ratio(previous, entry, key="delta_qps"),
+            ))
+        else:
+            # Cross-host fallback for delta maintenance: the
+            # repair/invalidate speedup is dimensionless.
+            prev_ds = previous.get("mean_delta_speedup")
+            cur_ds = entry.get("mean_delta_speedup")
+            gates.append((
+                "repair/invalidate speedup (cross-host)",
+                (cur_ds / prev_ds) if prev_ds and cur_ds else None,
             ))
     if "federated" in entry and "federated" in previous:
         if same_host:

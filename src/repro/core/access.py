@@ -83,6 +83,7 @@ class AccessConstraint:
         return len(self.lhs) + len(self.rhs) + 1
 
     def attributes(self) -> frozenset[str]:
+        """All attributes the constraint mentions (``X ∪ Y``)."""
         return self.lhs | self.rhs
 
     def validate(self, schema: DatabaseSchema) -> None:
@@ -126,6 +127,7 @@ class AccessSchema:
             self.add(constraint)
 
     def add(self, constraint: AccessConstraint) -> None:
+        """Add a constraint (validated against the schema; duplicates ignored)."""
         if self.schema is not None:
             constraint.validate(self.schema)
         if constraint in self._constraints:
@@ -169,6 +171,7 @@ class AccessSchema:
         return tuple(self._by_relation.get(relation, ()))
 
     def constraints(self) -> tuple[AccessConstraint, ...]:
+        """All constraints in insertion order."""
         return tuple(self._constraints)
 
     def restrict(self, keep: Iterable[AccessConstraint]) -> "AccessSchema":

@@ -252,6 +252,7 @@ class CoverageChecker:
         )
 
     def is_covered(self, access_schema: AccessSchema) -> bool:
+        """Shorthand: run the check and return only the verdict."""
         return self.check(access_schema).is_covered
 
 

@@ -1,0 +1,389 @@
+"""Delta maintenance of cached bounded results (incremental view repair).
+
+A covered query's result is computed *only* through the fetch steps of its
+bounded plan, and each fetch reads exactly one constraint-index group per
+probed key.  That gives writes a small, statically-known blast radius: a
+tuple written to relation ``R`` can change a cached result only through the
+fetch steps over ``R``'s constraints, and only when the written tuple's key
+(its projection onto ``sorted(lhs)``) is one of the keys that fetch actually
+probed.  :class:`DeltaDeriver` exploits this to **repair** a cached result
+in place instead of invalidating it:
+
+1. **Dirty-fetch detection** — for every fetch over a written relation,
+   project each written row onto the fetch's constraint key and test
+   membership in the key set the fetch probed at fill time (recovered from
+   the captured per-step environment).  A miss means the write landed in an
+   index group the result never read; when *no* fetch is dirty the entry is
+   repaired by re-stamping its version snapshot alone — zero execution.
+2. **Selective re-execution** — otherwise, only the dirty fetch steps and
+   their downstream closure are re-run through the plan's row kernels over
+   the memoized intermediates of the untouched steps.  Because the repair
+   runs the *same kernels* over the *same upstream inputs*, the patched
+   result is exactly what a full recomputation would produce (a property
+   pinned by the randomized repair tests).
+
+**Fallback.** Repair refuses — and the caller must invalidate — whenever
+the delta is not derivable through the plan:
+
+* an affected fetch feeds a :class:`~repro.core.plan.DifferenceOp`
+  (classical delta rules are non-monotone there: an inserted tuple can
+  *remove* result rows through the subtrahend, so the conservative contract
+  is to recompute from scratch rather than patch);
+* the entry carries no captured environment (columnar execution, or the
+  environment exceeded the cache's admission budget);
+* derivation itself raises (schema drift, unknown operators).
+
+Monotone fragments (fetch/select/project/join/union/intersect chains) are
+always derivable, for inserts and deletes alike, because selective
+re-execution is exact rather than delta-rule based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..storage.counters import AccessCounter
+from .plan import BoundedPlan, DifferenceOp, FetchOp
+
+Row = tuple
+
+#: outcome statuses of :meth:`DeltaDeriver.derive`
+CLEAN = "clean"        # no probed key touched: re-stamp only
+PATCHED = "patched"    # dirty closure re-executed, rows possibly changed
+FALLBACK = "fallback"  # not derivable: the caller must invalidate
+
+
+class WriteDelta:
+    """A batch of applied inserts/deletes, grouped by relation.
+
+    The deriver only needs the written *rows* per relation (dirty-key
+    detection is direction-agnostic: both an insert and a delete can only
+    change the index group of the written row's key), but inserts and
+    deletes are kept separate for observability.  Skipped (no-op) updates
+    may be included — they can only mark extra keys dirty, never miss one,
+    so including them costs work but never correctness.
+    """
+
+    __slots__ = ("inserts", "deletes", "_touched")
+
+    def __init__(
+        self,
+        inserts: Mapping[str, Sequence[Row]] | None = None,
+        deletes: Mapping[str, Sequence[Row]] | None = None,
+    ):
+        self.inserts: dict[str, tuple[Row, ...]] = {
+            relation: tuple(rows) for relation, rows in (inserts or {}).items() if rows
+        }
+        self.deletes: dict[str, tuple[Row, ...]] = {
+            relation: tuple(rows) for relation, rows in (deletes or {}).items() if rows
+        }
+        self._touched = frozenset(self.inserts) | frozenset(self.deletes)
+
+    @classmethod
+    def from_updates(cls, updates: Iterable) -> "WriteDelta":
+        """Group :class:`~repro.discovery.maintenance.Update`-shaped objects
+        (duck-typed: ``.relation`` / ``.row`` / ``.kind``) by relation."""
+        inserts: dict[str, list[Row]] = {}
+        deletes: dict[str, list[Row]] = {}
+        for update in updates:
+            bucket = inserts if update.kind == "insert" else deletes
+            bucket.setdefault(update.relation, []).append(tuple(update.row))
+        return cls(inserts, deletes)
+
+    @property
+    def touched(self) -> frozenset[str]:
+        """Relations this delta wrote at least one row to."""
+        return self._touched
+
+    def rows_for(self, relation: str) -> tuple[Row, ...]:
+        """Every written row of ``relation``, inserts and deletes together."""
+        return self.inserts.get(relation, ()) + self.deletes.get(relation, ())
+
+    def __bool__(self) -> bool:
+        return bool(self._touched)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WriteDelta(inserts={ {r: len(v) for r, v in self.inserts.items()} }, "
+            f"deletes={ {r: len(v) for r, v in self.deletes.items()} })"
+        )
+
+
+@dataclass
+class RepairOutcome:
+    """What :meth:`DeltaDeriver.derive` decided for one cache entry.
+
+    ``status`` is :data:`CLEAN` (no probed key was written: the entry's rows
+    are already correct, only its snapshot needs re-stamping),
+    :data:`PATCHED` (``rows`` / ``env`` hold the repaired state), or
+    :data:`FALLBACK` (``reason`` says why the delta was not derivable and
+    the entry must be invalidated instead).
+    """
+
+    status: str
+    rows: frozenset[Row] | None = None
+    env: tuple[frozenset[Row], ...] | None = None
+    #: rows the patch added / removed relative to the cached result
+    rows_added: int = 0
+    rows_removed: int = 0
+    #: fallback reason ("difference", "no_env", "error", ...)
+    reason: str | None = None
+    #: fetch steps found dirty (empty for CLEAN)
+    dirty_steps: tuple[int, ...] = ()
+    #: steps re-executed (the downstream closure of the dirty fetches)
+    steps_recomputed: int = 0
+    counter: AccessCounter = field(default_factory=AccessCounter)
+
+    @classmethod
+    def clean(cls) -> "RepairOutcome":
+        """The write is invisible through the plan: re-stamp, no execution."""
+        return cls(status=CLEAN)
+
+    @classmethod
+    def fallback(cls, reason: str) -> "RepairOutcome":
+        """Repair refused for ``reason``: the caller must invalidate instead."""
+        return cls(status=FALLBACK, reason=reason)
+
+
+def _first_positions(columns: Sequence[str]) -> dict[str, int]:
+    """Column name → first position (mirrors the executor's resolution)."""
+    positions: dict[str, int] = {}
+    for index, column in enumerate(columns):
+        positions.setdefault(column, index)
+    return positions
+
+
+class DeltaDeriver:
+    """Derives per-entry repairs for a write batch through a plan's fetches.
+
+    ``executor`` must compile plans to **row** kernels whose environment
+    convention matches the captured one (the engine passes a dedicated
+    row-mode :class:`~repro.evaluator.executor.PlanExecutor`; the router
+    passes its :class:`~repro.sharding.router.FederatedExecutor`, which is
+    row-mode by construction).  ``schema`` resolves written rows' attribute
+    positions for key projection.  ``group_lookup(constraint, base, key)``,
+    when provided, refines dirty detection by comparing the cached fetch
+    group against the live index group — equal groups (e.g. a duplicate
+    insert, or an insert whose XY-projection already existed) downgrade a
+    key hit back to clean.  It must read **post-write** index state and
+    return ``None`` when the group cannot be resolved.
+    """
+
+    def __init__(
+        self,
+        executor,
+        schema,
+        *,
+        group_lookup: Callable[[object, str, Row], frozenset[Row] | None] | None = None,
+    ):
+        self.executor = executor
+        self.schema = schema
+        self.group_lookup = group_lookup
+
+    # -- structural derivability ------------------------------------------------
+    def affected_fetches(self, plan: BoundedPlan, touched: frozenset[str]) -> tuple[int, ...]:
+        """Step ids of fetches whose base relation is in ``touched``."""
+        affected = []
+        for step in plan.fetch_steps():
+            constraint = step.op.constraint
+            base = plan.occurrences.get(constraint.relation, constraint.relation)
+            if base in touched:
+                affected.append(step.id)
+        return tuple(affected)
+
+    def derivable(self, plan: BoundedPlan, touched: frozenset[str]) -> bool:
+        """Whether a write to ``touched`` is repairable through ``plan``.
+
+        False exactly when some affected fetch reaches a
+        :class:`~repro.core.plan.DifferenceOp` — the non-monotone operator
+        where delta rules invert sign through the subtrahend, so the
+        conservative contract (satellite of the repair design: *never* serve
+        a stale repaired entry) is to fall back to invalidation.
+        """
+        affected = self.affected_fetches(plan, touched)
+        return self._derivable(plan, affected)
+
+    def _derivable(self, plan: BoundedPlan, affected: tuple[int, ...]) -> bool:
+        if not affected:
+            return True
+        dirty_reach = [False] * len(plan.steps)
+        affected_set = set(affected)
+        for step in plan.steps:
+            op = step.op
+            reach = step.id in affected_set or any(
+                dirty_reach[source] for source in op.inputs
+            )
+            dirty_reach[step.id] = reach
+            if isinstance(op, DifferenceOp) and (
+                dirty_reach[op.inputs[0]] or dirty_reach[op.inputs[1]]
+            ):
+                return False
+        return True
+
+    # -- derivation -------------------------------------------------------------
+    def derive(
+        self,
+        plan: BoundedPlan,
+        env: tuple[frozenset[Row], ...],
+        rows: frozenset[Row],
+        delta: WriteDelta,
+    ) -> RepairOutcome:
+        """Decide clean / patch / fallback for one cached result.
+
+        ``env`` is the per-step environment captured when the entry was
+        filled (``ExecutionResult.env``); ``rows`` the cached output rows.
+        Must be called **after** the write has been applied to storage and
+        indexes — re-execution and ``group_lookup`` read live state.
+        Exceptions never escape: any derivation error degrades to a
+        :data:`FALLBACK` outcome (reason ``"error"``), because serving a
+        wrong repaired row is the one failure mode this module must not
+        have.
+        """
+        try:
+            return self._derive(plan, env, rows, delta)
+        except Exception as error:  # pragma: no cover - defensive seam
+            outcome = RepairOutcome.fallback("error")
+            outcome.reason = f"error:{type(error).__name__}"
+            return outcome
+
+    def _derive(
+        self,
+        plan: BoundedPlan,
+        env: tuple[frozenset[Row], ...],
+        rows: frozenset[Row],
+        delta: WriteDelta,
+    ) -> RepairOutcome:
+        affected = self.affected_fetches(plan, delta.touched)
+        if not affected:
+            # The write never reaches this plan's fetches (the caller's
+            # dependency filter should already have skipped it).
+            return RepairOutcome.clean()
+        if not self._derivable(plan, affected):
+            return RepairOutcome.fallback("difference")
+        if env is None or len(env) != len(plan.steps):
+            return RepairOutcome.fallback("no_env")
+        compiled = self.executor.compile(plan)
+        if compiled.mode != "row":
+            return RepairOutcome.fallback("executor_mode")
+
+        dirty = self._dirty_fetches(plan, compiled, env, delta, affected)
+        if not dirty:
+            return RepairOutcome.clean()
+
+        # Re-execute the downstream closure of the dirty fetches.  Steps are
+        # densely numbered with inputs < id, so one ascending pass suffices.
+        recompute = [False] * len(plan.steps)
+        for sid in dirty:
+            recompute[sid] = True
+        for step in plan.steps:
+            if not recompute[step.id]:
+                recompute[step.id] = any(recompute[s] for s in step.op.inputs)
+        counter = AccessCounter()
+        scratch: list = list(env)
+        recomputed = 0
+        for step in plan.steps:
+            if recompute[step.id]:
+                scratch[step.id] = compiled.kernels[step.id](scratch, counter)
+                recomputed += 1
+        new_rows = frozenset(scratch[plan.output])
+        new_env = tuple(
+            part if isinstance(part, frozenset) else frozenset(part)
+            for part in scratch
+        )
+        return RepairOutcome(
+            status=PATCHED,
+            rows=new_rows,
+            env=new_env,
+            rows_added=len(new_rows - rows),
+            rows_removed=len(rows - new_rows),
+            dirty_steps=tuple(sorted(dirty)),
+            steps_recomputed=recomputed,
+            counter=counter,
+        )
+
+    def _dirty_fetches(
+        self,
+        plan: BoundedPlan,
+        compiled,
+        env: tuple[frozenset[Row], ...],
+        delta: WriteDelta,
+        affected: tuple[int, ...],
+    ) -> set[int]:
+        """Affected fetches whose output can actually have changed.
+
+        A fetch is dirty iff some written row of its base relation projects
+        (on ``sorted(constraint.lhs)``) onto a key the fetch probed at fill
+        time; ``group_lookup`` then optionally confirms the hit by comparing
+        the cached group against the live index group.
+        """
+        dirty: set[int] = set()
+        for fetch_id in affected:
+            step = plan.steps[fetch_id]
+            op: FetchOp = step.op
+            constraint = op.constraint
+            base = plan.occurrences.get(constraint.relation, constraint.relation)
+            written = delta.rows_for(base)
+            if not written:
+                continue
+            lhs = sorted(constraint.lhs)
+            row_positions = self.schema[base].positions(lhs)
+            source = op.inputs[0]
+            source_positions = _first_positions(compiled.columns[source])
+            key_positions = tuple(source_positions[c] for c in op.key_columns)
+            probed = {
+                tuple(row[p] for p in key_positions) for row in env[source]
+            }
+            hits = {
+                key
+                for key in (
+                    tuple(row[p] for p in row_positions) for row in written
+                )
+                if key in probed
+            }
+            if not hits:
+                continue
+            if self.group_lookup is not None and self._groups_unchanged(
+                compiled, env, fetch_id, op, base, lhs, hits
+            ):
+                continue
+            dirty.add(fetch_id)
+        return dirty
+
+    def _groups_unchanged(
+        self,
+        compiled,
+        env: tuple[frozenset[Row], ...],
+        fetch_id: int,
+        op: FetchOp,
+        base: str,
+        lhs: list[str],
+        hits: set[Row],
+    ) -> bool:
+        """Whether every hit key's live index group equals the cached one.
+
+        Sound because a fetch's output restricted to one key *is* that key's
+        index group at fill time (fetch rows carry their key columns:
+        ``sorted(lhs | rhs)`` ⊇ ``lhs``), so group equality means the write
+        was invisible through this fetch.  Only usable when the fetch kernel
+        applies no shard-side predicate (the engine's local fetches), which
+        is the caller's responsibility via ``group_lookup``.
+        """
+        # Fetch output tuples are aligned with sorted(lhs | rhs) — resolve key
+        # positions positionally; the step's column names are qualified
+        # ("rel.attr") while ``lhs`` holds bare attribute names.
+        combined = sorted(set(op.constraint.lhs) | set(op.constraint.rhs))
+        key_positions = tuple(combined.index(attribute) for attribute in lhs)
+        cached_rows = env[fetch_id]
+        for key in hits:
+            live = self.group_lookup(op.constraint, base, key)
+            if live is None:
+                return False
+            cached_group = {
+                row
+                for row in cached_rows
+                if tuple(row[p] for p in key_positions) == key
+            }
+            if cached_group != live:
+                return False
+        return True

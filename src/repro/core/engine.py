@@ -40,9 +40,21 @@ built from three layers (see :mod:`repro.core.planstore`):
   (:class:`~repro.storage.counters.VersionClock`).  The engine's
   maintenance path (:meth:`BoundedEngine.apply_insert` /
   :meth:`~BoundedEngine.apply_delete` / the batched
-  :meth:`~BoundedEngine.apply_updates`) bumps the clock and sweeps both
-  caches *granularly*: only entries depending on the written relation are
-  dropped, and one batch costs one version bump plus one sweep.
+  :meth:`~BoundedEngine.apply_updates`) bumps the clock and settles both
+  caches *granularly*: one batch costs one version bump plus one
+  maintenance pass over the dependent entries.
+
+* **Delta repair** — with ``delta_repair`` on (the default), a dependent
+  write no longer drops result-cache entries wholesale: the
+  :class:`~repro.core.deltas.DeltaDeriver` decides per entry whether the
+  write's effect is derivable through the plan's fetch steps (a write
+  touching constraint C can only add/remove rows reachable through C's
+  fetch) and either re-stamps the entry (write missed every probed key),
+  patches it by re-executing only the dirty fetches' downstream closure
+  over the captured intermediates, or — when the delta is not derivable
+  (difference over the touched relation, missing environment) — falls back
+  to invalidating that entry.  Prepared plans are data-independent, so the
+  plan store is left alone on the repair path.
 """
 
 from __future__ import annotations
@@ -58,6 +70,7 @@ from ..storage.database import Database
 from ..storage.index import IndexSet
 from .access import AccessSchema
 from .coverage import CoverageResult, check_coverage
+from .deltas import FALLBACK, PATCHED, DeltaDeriver, WriteDelta
 from .errors import CircuitOpenError, MaintenanceError, NotCoveredError
 from .fingerprint import prepared_cache_key
 from .minimize import MinimizationResult, minimize_auto
@@ -194,6 +207,30 @@ class BoundedEngine:
     selects the constraint-granular write path; turning it off restores the
     clear-all behaviour of PR 1 (kept for benchmarking the difference).
 
+    ``delta_repair`` (default on) makes dependent writes *repair* result-
+    cache entries instead of invalidating them: covered executions capture
+    their per-step row environment (within the ``repair_env_rows`` budget,
+    summed over all steps of one entry) and the write path derives row-level
+    patches through :class:`~repro.core.deltas.DeltaDeriver`, falling back
+    to per-entry invalidation whenever a delta is not derivable.  On this
+    path the plan store is **not** swept — prepared plans depend only on
+    (query, access schema), and keeping them is what makes a repaired read
+    hit without re-planning.  Turning ``delta_repair`` off restores the
+    sweep-on-write contract (every dependent plan-store and result-cache
+    entry is dropped).  Requires ``granular_invalidation``; with clear-all
+    invalidation the knob is ignored.
+
+    **Snapshot contract** of the serving surface: :meth:`execute` reads the
+    dependency snapshot *before* probing the result cache and stamps filled
+    entries with that same snapshot; the write path
+    (:meth:`apply_insert` / :meth:`apply_delete` / :meth:`apply_updates`)
+    verifies an entry still carries the pre-write snapshot before repairing
+    it and re-stamps it with the post-write snapshot.  Any entry observed
+    mid-flight with a different snapshot is dropped, never patched.  The
+    engine itself is single-threaded per write (the serving tier serializes
+    writes); concurrent *readers* are safe because they only compare
+    snapshots.
+
     ``executor_mode`` selects the plan-execution kernels: ``"row"``,
     ``"columnar"``, or the default ``"auto"``, which lets the optimizer's
     cost model (:func:`repro.core.optimizer.choose_executor_mode`) pick per
@@ -225,6 +262,8 @@ class BoundedEngine:
         result_cache_size: int = 256,
         optimize: bool = True,
         granular_invalidation: bool = True,
+        delta_repair: bool = True,
+        repair_env_rows: int = 200_000,
         fallback_breaker: object | None = None,
         executor_mode: str = "auto",
     ):
@@ -241,9 +280,16 @@ class BoundedEngine:
             self.indexes = IndexSet()
         self._executor = PlanExecutor(database, self.indexes, mode=executor_mode)
         self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
-        self.result_cache = ResultCache(result_cache_size)
+        self.result_cache = ResultCache(result_cache_size, max_env_rows=repair_env_rows)
         self.optimize = optimize
         self.granular_invalidation = granular_invalidation
+        self.delta_repair = delta_repair and granular_invalidation
+        #: repairs always run row kernels (captured environments are row
+        #: sets), regardless of the serving executor's mode.
+        self._repair_executor = PlanExecutor(database, self.indexes, mode="row")
+        self._deriver = DeltaDeriver(
+            self._repair_executor, database.schema, group_lookup=self._index_group
+        )
         self.fallback_breaker = fallback_breaker
         #: the conventional-evaluation seam: the serving tier's fault
         #: injector (and tests) wrap this attribute rather than the module
@@ -267,6 +313,7 @@ class BoundedEngine:
         return check_coverage(query, self.access_schema)
 
     def is_covered(self, query: Query) -> bool:
+        """Shorthand: whether ``CovChk`` passes for ``query``."""
         return self.check(query).is_covered
 
     # -- C3 + C4: minimization and planning -----------------------------------------
@@ -376,13 +423,19 @@ class BoundedEngine:
                     cached=cached,
                     result_cached=True,
                 )
-            execution: ExecutionResult = self._executor.execute(prepared.executable)
+            execution: ExecutionResult = self._executor.execute(
+                prepared.executable,
+                capture_env=self.delta_repair and self.result_cache.capacity > 0,
+                env_rows_budget=self.result_cache.max_env_rows,
+            )
             self.result_cache.put(
                 key,
                 rows=execution.rows,
                 columns=execution.columns,
                 dependencies=prepared.dependencies,
                 snapshot=snapshot,
+                env=execution.env,
+                plan=prepared.executable,
             )
             return EngineResult(
                 rows=execution.rows,
@@ -429,30 +482,91 @@ class BoundedEngine:
         )
 
     # -- C1: maintenance -------------------------------------------------------------------
-    def _after_write(self, relations: Iterable[str]) -> None:
-        """Bump the version clock and sweep the caches after a data change.
+    def _after_write(
+        self, relations: Iterable[str], delta: WriteDelta | None = None
+    ) -> None:
+        """Bump the version clock and settle the caches after a data change.
 
-        With granular invalidation only entries whose plans fetch from the
-        written relations are dropped — prepared plans themselves are
-        data-independent, but dropping dependents keeps the contract simple
-        and future-proofs against statistics-driven planning; version
-        snapshots already keep the result cache *correct*, the sweep keeps
-        it small.  Compiled kernels of dropped entries are released from the
-        executor.  Without granular invalidation both caches are cleared
-        wholesale (the PR 1 behaviour, kept for comparison benchmarks).
+        Three regimes, in decreasing bluntness:
+
+        * ``granular_invalidation`` off — both caches are cleared wholesale
+          (the PR 1 behaviour, kept for comparison benchmarks);
+        * granular, no usable ``delta`` — only entries whose plans fetch
+          from the written relations are dropped; compiled kernels of
+          dropped plan-store entries are released from the executor;
+        * granular + ``delta_repair`` + a ``delta`` — result-cache entries
+          are **repaired** (re-stamped or patched via
+          :class:`~repro.core.deltas.DeltaDeriver`) with per-entry fallback
+          to invalidation, and the plan store is left untouched (prepared
+          plans are data-independent).
+
+        The repair pass snapshots every candidate entry's dependencies
+        *before* bumping the clock: an entry whose stamp does not match
+        those pre-write versions was already stale and is dropped rather
+        than patched — the snapshot-validation contract that makes a
+        repaired entry indistinguishable from a fresh recomputation.
         """
         touched = tuple(relations)
-        self.database.clock.bump(touched)
-        scope = touched if self.granular_invalidation else None
-        self._discard_compiled(self.plan_cache.invalidate(scope))
-        self.result_cache.invalidate(scope)
+        clock = self.database.clock
+        if not self.granular_invalidation:
+            clock.bump(touched)
+            self._discard_compiled(self.plan_cache.invalidate(None))
+            self.result_cache.invalidate(None)
+            return
+        if not (self.delta_repair and delta is not None and delta):
+            clock.bump(touched)
+            self._discard_compiled(self.plan_cache.invalidate(touched))
+            self.result_cache.invalidate(touched)
+            return
+        candidates = [
+            (key, entry, clock.snapshot(entry.dependencies))
+            for key, entry in self.result_cache.entries_for(touched)
+        ]
+        clock.bump(touched)
+        touched_set = frozenset(touched)
+        for key, entry, pre_snapshot in candidates:
+            scope = sorted(touched_set.intersection(entry.dependencies))
+            if entry.snapshot != pre_snapshot:
+                self.result_cache.drop(key, reason="stale", relations=scope)
+                continue
+            if entry.env is None or entry.plan is None:
+                self.result_cache.drop(key, reason="no_env", relations=scope)
+                continue
+            outcome = self._deriver.derive(entry.plan, entry.env, entry.rows, delta)
+            if outcome.status == FALLBACK:
+                self.result_cache.drop(key, reason=outcome.reason, relations=scope)
+                continue
+            patched = outcome.status == PATCHED
+            self.result_cache.repair(
+                key,
+                rows=outcome.rows if patched else entry.rows,
+                env=outcome.env if patched else entry.env,
+                snapshot=clock.snapshot(entry.dependencies),
+                rows_added=outcome.rows_added,
+                rows_removed=outcome.rows_removed,
+            )
+
+    def _index_group(self, constraint, base: str, key: tuple) -> frozenset[tuple] | None:
+        """The live (post-write) index group of ``key`` for dirty refinement.
+
+        Resolves actualized constraints back to the physical index of their
+        base relation, exactly like the executor; ``None`` (no index) makes
+        the deriver treat the key as dirty, never as clean.
+        """
+        index = self.indexes.get(constraint)
+        if index is None:
+            index = self.indexes.find(base, constraint.lhs, constraint.rhs)
+        if index is None:
+            return None
+        return frozenset(index.lookup(key))
 
     def _discard_compiled(self, entries: Iterable[object]) -> None:
-        """Release the executor's compiled kernels of dropped store entries."""
+        """Release the executors' compiled kernels of dropped store entries."""
         for entry in entries:
             executable = getattr(entry, "executable", None)
             if executable is not None:
                 self._executor.discard(executable)
+                self._repair_executor.discard(executable)
 
     def apply_insert(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Insert a tuple and incrementally maintain the indexes (Proposition 12).
@@ -467,7 +581,9 @@ class BoundedEngine:
         prepared = instance.prepare(row)
         if instance.insert(prepared):
             self.indexes.apply_insert(relation, prepared)
-            self._after_write((relation,))
+            self._after_write(
+                (relation,), WriteDelta(inserts={relation: (prepared,)})
+            )
 
     def apply_delete(self, relation: str, row: Sequence | Mapping[str, object]) -> None:
         """Delete a tuple and incrementally maintain the indexes (Proposition 12).
@@ -478,7 +594,9 @@ class BoundedEngine:
         prepared = instance.prepare(row)
         if instance.delete(prepared):
             self.indexes.apply_delete(relation, prepared, instance)
-            self._after_write((relation,))
+            self._after_write(
+                (relation,), WriteDelta(deletes={relation: (prepared,)})
+            )
 
     def apply_updates(self, updates: Iterable["Update"]) -> "MaintenanceReport":
         """Apply a batch of updates with one version bump and one cache sweep.
@@ -490,12 +608,21 @@ class BoundedEngine:
         and a single targeted invalidation sweep — instead of the per-row
         clear-alls a loop over :meth:`apply_insert` would cost.
 
+        With ``delta_repair`` the settlement is one **derivation pass**: the
+        report's applied updates become a single
+        :class:`~repro.core.deltas.WriteDelta` and every dependent
+        result-cache entry is repaired or invalidated per-entry (the plan
+        store is untouched).
+
         If the batch aborts part-way (a
         :class:`~repro.core.errors.MaintenanceError` carrying the partial
-        report), the clock bump and cache sweeps are **still** performed over
-        the relations the partial batch did mutate before the error
-        propagates — otherwise the result cache would keep serving rows from
+        report), the clock bump and cache settlement are **still** performed
+        over the relations the partial batch did mutate before the error
+        propagates; otherwise the result cache would keep serving rows from
         before the aborted batch (the stale-serve bug this guards against).
+        Failed batches never take the repair path — a fault mid-batch means
+        storage state is suspect, so dependent entries are invalidated
+        outright rather than patched.
         """
         from ..discovery.maintenance import apply_updates as _apply_updates
 
@@ -506,11 +633,15 @@ class BoundedEngine:
         except MaintenanceError as error:
             partial = error.report
             if partial is not None and partial.touched_relations:
+                # Conservative: no repair after a fault — sweep dependents.
                 self._after_write(sorted(partial.touched_relations))
                 partial.version = self.database.version
             raise
         if report.touched_relations:
-            self._after_write(sorted(report.touched_relations))
+            self._after_write(
+                sorted(report.touched_relations),
+                WriteDelta.from_updates(report.applied_updates),
+            )
             report.version = self.database.version
         return report
 

@@ -55,6 +55,7 @@ class FDSet:
         self._dependencies: list[FunctionalDependency] = list(dependencies)
 
     def add(self, dependency: FunctionalDependency) -> None:
+        """Append a dependency to the set (no implication check)."""
         self._dependencies.append(dependency)
 
     def __iter__(self) -> Iterator[FunctionalDependency]:
@@ -121,6 +122,7 @@ class FDSet:
         return set(rhs) <= self.closure(lhs)
 
     def implies_fd(self, dependency: FunctionalDependency) -> bool:
+        """:meth:`implies` over a packaged :class:`FunctionalDependency`."""
         return self.implies(dependency.lhs, dependency.rhs)
 
     # -- convenience -------------------------------------------------------------

@@ -75,6 +75,7 @@ class Hyperpath:
         return sum(edge.weight for edge in self.edges)
 
     def nodes(self) -> frozenset[Node]:
+        """Every node the path touches: sources, tails, and heads."""
         covered: set[Node] = set(self.source)
         for edge in self.edges:
             covered.add(edge.tail)
@@ -100,9 +101,11 @@ class DirectedHypergraph:
 
     # -- construction -----------------------------------------------------------
     def add_node(self, node: Node) -> None:
+        """Register a node (edges register their endpoints automatically)."""
         self._nodes.add(node)
 
     def add_edge(self, edge: Hyperedge) -> None:
+        """Add a hyperedge, registering its tail and head nodes."""
         self._nodes.add(edge.tail)
         self._nodes.update(edge.head)
         index = len(self._edges)
@@ -327,6 +330,7 @@ class QAHypergraph:
             ) from None
 
     def analysis_for_attribute(self, attribute: Attribute) -> SPCAnalysis:
+        """The SPC analysis of the sub-query owning ``attribute``'s relation."""
         return self.analysis_for_relation(attribute.relation)
 
     def node_for(self, attribute: Attribute) -> Node:
@@ -338,9 +342,11 @@ class QAHypergraph:
         return self.graph.find_hyperpath({ROOT}, self.node_for(attribute))
 
     def shortest_hyperpath_to(self, attribute: Attribute) -> Hyperpath | None:
+        """Minimum-weight hyperpath from ``r`` to ``attribute``'s node."""
         return self.graph.shortest_hyperpath({ROOT}, self.node_for(attribute))
 
     def is_acyclic(self) -> bool:
+        """Whether the underlying hypergraph has no directed cycle."""
         return self.graph.is_acyclic()
 
 

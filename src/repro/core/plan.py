@@ -50,6 +50,7 @@ class ColumnPredicate:
 
     @property
     def right_is_column(self) -> bool:
+        """True when the RHS references a column rather than a constant."""
         return isinstance(self.right, ColumnRef)
 
     def __str__(self) -> str:
@@ -67,6 +68,7 @@ class PlanOp:
     inputs: tuple[int, ...] = ()
 
     def describe(self) -> str:
+        """A one-line human-readable rendering of this operator."""
         raise NotImplementedError
 
 
@@ -79,6 +81,7 @@ class ConstOp(PlanOp):
     inputs: tuple[int, ...] = ()
 
     def describe(self) -> str:
+        """Render as ``{value} as (column)``."""
         return f"{{{self.value!r}}} as ({self.column})"
 
 
@@ -89,6 +92,7 @@ class UnitOp(PlanOp):
     inputs: tuple[int, ...] = ()
 
     def describe(self) -> str:
+        """Render the unit relation."""
         return "{()}"
 
 
@@ -106,6 +110,7 @@ class FetchOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the fetch with its driving constraint and key columns."""
         keys = ", ".join(self.key_columns) or "()"
         return f"fetch(X∈T{self.inputs[0]} via {self.constraint}; keys=({keys}))"
 
@@ -123,6 +128,7 @@ class ProjectOp(PlanOp):
             raise PlanError("output_names must align with columns")
 
     def describe(self) -> str:
+        """Render the projection, showing renames only when they differ."""
         cols = ", ".join(self.columns)
         if self.output_names and tuple(self.output_names) != tuple(self.columns):
             cols += " as " + ", ".join(self.output_names)
@@ -137,6 +143,7 @@ class SelectOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the selection with its conjunctive condition."""
         condition = " AND ".join(str(p) for p in self.predicates)
         return f"σ[{condition}](T{self.inputs[0]})"
 
@@ -149,6 +156,7 @@ class RenameOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the rename as ``old→new`` pairs."""
         pairs = ", ".join(f"{old}→{new}" for old, new in self.mapping.items())
         return f"ρ[{pairs}](T{self.inputs[0]})"
 
@@ -160,6 +168,7 @@ class ProductOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the product of the two input steps."""
         return f"T{self.inputs[0]} × T{self.inputs[1]}"
 
 
@@ -180,6 +189,7 @@ class HashJoinOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the join with equality pairs and residual predicates."""
         condition = " AND ".join(
             [f"{l} = {r}" for l, r in self.pairs] + [str(p) for p in self.residual]
         )
@@ -193,6 +203,7 @@ class UnionOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the union of the two input steps."""
         return f"T{self.inputs[0]} ∪ T{self.inputs[1]}"
 
 
@@ -203,6 +214,7 @@ class DifferenceOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the difference of the two input steps."""
         return f"T{self.inputs[0]} − T{self.inputs[1]}"
 
 
@@ -213,6 +225,7 @@ class IntersectOp(PlanOp):
     inputs: tuple[int, ...]
 
     def describe(self) -> str:
+        """Render the intersection of the two input steps."""
         return f"T{self.inputs[0]} ∩ T{self.inputs[1]}"
 
 
@@ -265,12 +278,14 @@ class BoundedPlan:
         return len(self.steps)
 
     def step(self, step_id: int) -> PlanStep:
+        """The step with id ``step_id``; raises :class:`PlanError` when absent."""
         try:
             return self.steps[step_id]
         except IndexError:
             raise PlanError(f"plan has no step T{step_id}") from None
 
     def fetch_steps(self) -> tuple[PlanStep, ...]:
+        """All fetch steps in plan order — the only steps that touch data."""
         return tuple(s for s in self.steps if isinstance(s.op, FetchOp))
 
     def constraints_used(self) -> tuple[AccessConstraint, ...]:
@@ -446,14 +461,17 @@ class PlanBuilder:
         self.surrogates: dict[str, int] = {}
 
     def add(self, op: PlanOp, columns: Sequence[str], comment: str = "") -> int:
+        """Append a step computing ``op`` with ``columns``; returns its id."""
         step = PlanStep(id=len(self.steps), op=op, columns=tuple(columns), comment=comment)
         self.steps.append(step)
         return step.id
 
     def columns(self, step_id: int) -> tuple[str, ...]:
+        """The output columns of an already-added step."""
         return self.steps[step_id].columns
 
     def build(self, output: int) -> BoundedPlan:
+        """Finalize into a validated :class:`BoundedPlan` with ``output`` as result."""
         plan = BoundedPlan(
             steps=self.steps,
             output=output,

@@ -20,8 +20,18 @@ Two caches back the hot path of :class:`~repro.core.engine.BoundedEngine`:
   invalidate: an entry is served only while none of its dependent relations
   has been written since it was filled.
 
+  Entries optionally carry the per-step execution environment captured at
+  fill time (``ExecutionResult.env``) plus the executable plan; those are
+  what the delta-maintenance path (:mod:`repro.core.deltas`) needs to
+  **repair** an entry after a dependent write — patch its rows and re-stamp
+  its snapshot — instead of dropping it.  :meth:`ResultCache.repair` applies
+  a derived patch; :meth:`ResultCache.drop` is the per-entry fallback
+  invalidation used when a delta is not derivable.
+
 Both caches keep hit/miss/eviction/invalidation counts for
-:meth:`~repro.core.engine.BoundedEngine.cache_stats`.
+:meth:`~repro.core.engine.BoundedEngine.cache_stats`, including per-relation
+invalidation attribution (``invalidated_by``) so soak reports can tell
+*which* relations keep knocking entries out.
 """
 
 from __future__ import annotations
@@ -66,11 +76,14 @@ class PlanStore:
         self.invalidated = 0
         #: invalidation sweeps performed (one per write or batch)
         self.sweeps = 0
+        #: triggering relation -> entries it invalidated ("*" for clear-alls)
+        self.invalidated_by: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._slots)
 
     def get(self, key: Hashable) -> object | None:
+        """The cached plan for ``key`` (LRU-refreshed), or ``None`` on a miss."""
         slot = self._slots.get(key)
         if slot is None:
             self.misses += 1
@@ -115,11 +128,17 @@ class PlanStore:
         written relations stay valid, which is sound because prepared plans
         depend on data *only* through the constraint indexes of the relations
         they fetch from.
+
+        Each drop is attributed to the triggering relations in
+        ``invalidated_by`` (clear-alls are attributed to ``"*"``), so soak
+        and bench reports can name the write traffic that churns the store.
         """
         self.sweeps += 1
         if relations is None:
             dropped = [slot.entry for slot in self._slots.values()]
             self._slots.clear()
+            if dropped:
+                self.invalidated_by["*"] = self.invalidated_by.get("*", 0) + len(dropped)
         else:
             touched = frozenset(relations)
             stale = [
@@ -127,11 +146,17 @@ class PlanStore:
             ]
             dropped = []
             for key in stale:
-                dropped.append(self._slots.pop(key).entry)
+                slot = self._slots.pop(key)
+                dropped.append(slot.entry)
+                for relation in sorted(slot.dependencies & touched):
+                    self.invalidated_by[relation] = (
+                        self.invalidated_by.get(relation, 0) + 1
+                    )
         self.invalidated += len(dropped)
         return dropped
 
     def stats(self) -> dict[str, int | float]:
+        """Monotone hit/miss/eviction counters plus capacity and occupancy."""
         requests = self.hits + self.misses
         return {
             "capacity": self.capacity,
@@ -143,17 +168,27 @@ class PlanStore:
             "replaced": self.replaced,
             "invalidated": self.invalidated,
             "sweeps": self.sweeps,
+            "invalidated_by": dict(self.invalidated_by),
         }
 
 
 @dataclass
 class CachedResult:
-    """A materialized covered result plus the version snapshot it is valid for."""
+    """A materialized covered result plus the version snapshot it is valid for.
+
+    ``env`` and ``plan`` are the repair handles: the per-step row
+    environment captured when the entry was filled and the executable plan
+    that produced it.  Both may be ``None`` (columnar execution, or an
+    environment refused admission by the cache's ``max_env_rows`` budget) —
+    such entries can only be invalidated, never repaired.
+    """
 
     rows: frozenset[tuple]
     columns: tuple[str, ...]
     dependencies: tuple[str, ...]
     snapshot: tuple[int, ...]
+    env: tuple[frozenset[tuple], ...] | None = None
+    plan: object | None = None
 
 
 class ResultCache:
@@ -172,14 +207,32 @@ class ResultCache:
     ``max_rows`` is the admission threshold: results with more rows are not
     cached.  Fetched inputs are bounded by ``access_bound()``, but a plan's
     *output* can exceed that (e.g. a product of two fetched sets), so the
-    LRU alone would bound entry count, not memory.
+    LRU alone would bound entry count, not memory.  ``max_env_rows`` is the
+    analogous budget for captured repair environments: an entry whose
+    per-step environment sums to more rows is still cached, but without its
+    environment — it stays servable and invalidatable, just not repairable.
+
+    **Snapshot contract.** :meth:`get` serves an entry only when the
+    caller's current dependency-version snapshot equals the entry's;
+    :meth:`repair` may only be called by a write path that has verified the
+    entry's snapshot matches the *pre-write* versions of every dependency
+    (otherwise the patch would be derived against a state the entry was
+    never valid for) and must pass the post-write snapshot to re-stamp.
     """
 
-    def __init__(self, capacity: int = 256, max_rows: int = 100_000):
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_rows: int = 100_000,
+        max_env_rows: int = 200_000,
+    ):
         self.capacity = capacity
         self.max_rows = max_rows
+        self.max_env_rows = max_env_rows
         #: results refused admission for exceeding ``max_rows``
         self.oversized = 0
+        #: repair environments refused admission for exceeding ``max_env_rows``
+        self.env_rejected = 0
         self._entries: OrderedDict[Hashable, CachedResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -187,11 +240,28 @@ class ResultCache:
         self.evictions = 0
         self.invalidated = 0
         self.sweeps = 0
+        #: triggering relation -> entries it invalidated ("*" for clear-alls)
+        self.invalidated_by: dict[str, int] = {}
+        #: entries repaired in place after a dependent write (delta path)
+        self.repaired = 0
+        #: repairs that were pure snapshot re-stamps (no probed key written)
+        self.repaired_clean = 0
+        #: rows added + removed across all patches
+        self.rows_patched = 0
+        #: entries invalidated because their delta was not derivable
+        self.repair_fallbacks = 0
+        #: fallback reason -> count ("difference", "no_env", "stale", ...)
+        self.repair_fallback_reasons: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: Hashable, snapshot: tuple[int, ...]) -> CachedResult | None:
+        """The entry for ``key`` iff its stamp equals ``snapshot``, else ``None``.
+
+        A snapshot mismatch counts as a miss (``stale_hits``) — the entry
+        stays resident so a later :meth:`repair` can still patch it.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -213,22 +283,109 @@ class ResultCache:
         columns: tuple[str, ...],
         dependencies: Iterable[str],
         snapshot: tuple[int, ...],
+        env: tuple[frozenset[tuple], ...] | None = None,
+        plan: object | None = None,
     ) -> None:
+        """Admit a result; ``env``/``plan`` make the entry repairable.
+
+        ``snapshot`` must be the dependency versions read *before* the
+        execution that produced ``rows`` (the caller validated them after,
+        or executed under a single-writer regime) — it is what :meth:`get`
+        and the repair path compare against.
+        """
         if self.capacity <= 0:
             return
         if len(rows) > self.max_rows:
             self.oversized += 1
             return
+        if env is not None and sum(len(step) for step in env) > self.max_env_rows:
+            self.env_rejected += 1
+            env = None
         self._entries[key] = CachedResult(
             rows=rows,
             columns=columns,
             dependencies=tuple(dependencies),
             snapshot=snapshot,
+            env=env,
+            plan=plan if env is not None else None,
         )
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def entries_for(self, relations: Iterable[str]) -> list[tuple[Hashable, CachedResult]]:
+        """The live entries depending on any of ``relations`` (LRU order).
+
+        Returns a materialized list so the write path can iterate while
+        repairing/dropping entries without mutating-during-iteration issues.
+        """
+        touched = frozenset(relations)
+        return [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if touched.intersection(entry.dependencies)
+        ]
+
+    def repair(
+        self,
+        key: Hashable,
+        *,
+        rows: frozenset[tuple],
+        env: tuple[frozenset[tuple], ...] | None,
+        snapshot: tuple[int, ...],
+        rows_added: int = 0,
+        rows_removed: int = 0,
+    ) -> bool:
+        """Patch an entry in place and re-stamp its dependency snapshot.
+
+        The caller (the delta-maintenance write path) is responsible for the
+        snapshot contract: it verified the entry was valid for the pre-write
+        versions, derived ``rows``/``env`` from the applied delta, and
+        passes the **post-write** snapshot here.  A patch with
+        ``rows_added == rows_removed == 0`` is counted as a *clean* repair —
+        the write provably missed every index group the entry read, so only
+        the stamp moves.  Returns ``False`` when the entry vanished (LRU
+        eviction between derivation and patch).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.rows = rows
+        entry.snapshot = snapshot
+        if env is not None:
+            entry.env = env
+        self.repaired += 1
+        if rows_added or rows_removed:
+            self.rows_patched += rows_added + rows_removed
+        else:
+            self.repaired_clean += 1
+        return True
+
+    def drop(
+        self,
+        key: Hashable,
+        *,
+        reason: str,
+        relations: Iterable[str] = (),
+    ) -> bool:
+        """Invalidate one entry whose delta was not derivable (the fallback).
+
+        ``reason`` lands in ``repair_fallback_reasons`` and the drop is
+        attributed to ``relations`` like a targeted sweep, so observability
+        can distinguish "repaired", "fell back" and "never tried".
+        """
+        self.repair_fallbacks += 1
+        self.repair_fallback_reasons[reason] = (
+            self.repair_fallback_reasons.get(reason, 0) + 1
+        )
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.invalidated += 1
+        for relation in relations:
+            self.invalidated_by[relation] = self.invalidated_by.get(relation, 0) + 1
+        return True
 
     def invalidate(self, relations: Iterable[str] | None = None) -> int:
         """Purge entries depending on ``relations`` (all entries when ``None``).
@@ -241,6 +398,8 @@ class ResultCache:
         if relations is None:
             dropped = len(self._entries)
             self._entries.clear()
+            if dropped:
+                self.invalidated_by["*"] = self.invalidated_by.get("*", 0) + dropped
         else:
             touched = frozenset(relations)
             stale = [
@@ -249,12 +408,23 @@ class ResultCache:
                 if touched.intersection(entry.dependencies)
             ]
             for key in stale:
-                del self._entries[key]
+                entry = self._entries.pop(key)
+                for relation in sorted(touched.intersection(entry.dependencies)):
+                    self.invalidated_by[relation] = (
+                        self.invalidated_by.get(relation, 0) + 1
+                    )
             dropped = len(stale)
         self.invalidated += dropped
         return dropped
 
-    def stats(self) -> dict[str, int | float]:
+    def stats(self) -> dict[str, int | float | dict]:
+        """Monotone counters: traffic, invalidation, and repair activity.
+
+        Includes the delta-maintenance counters (``repaired``,
+        ``repaired_clean``, ``rows_patched``, ``repair_fallbacks``,
+        ``repair_fallback_reasons``) and ``invalidated_by`` — drops keyed
+        by the relation whose write triggered them.
+        """
         requests = self.hits + self.misses
         return {
             "capacity": self.capacity,
@@ -267,4 +437,11 @@ class ResultCache:
             "invalidated": self.invalidated,
             "sweeps": self.sweeps,
             "oversized": self.oversized,
+            "env_rejected": self.env_rejected,
+            "repaired": self.repaired,
+            "repaired_clean": self.repaired_clean,
+            "rows_patched": self.rows_patched,
+            "repair_fallbacks": self.repair_fallbacks,
+            "repair_fallback_reasons": dict(self.repair_fallback_reasons),
+            "invalidated_by": dict(self.invalidated_by),
         }

@@ -59,6 +59,7 @@ class Predicate:
         yield self
 
     def attributes(self) -> set[Attribute]:
+        """Every attribute referenced by any atom of this predicate."""
         return {
             term
             for atom in self.atoms()
@@ -86,6 +87,7 @@ class Comparison(Predicate):
             raise QueryError(f"unsupported comparison operator {self.op!r}")
 
     def atoms(self) -> Iterator["Comparison"]:
+        """A comparison is its own single atom."""
         yield self
 
     @property
@@ -122,10 +124,12 @@ class And(Predicate):
             raise QueryError("And() requires at least one conjunct")
 
     def atoms(self) -> Iterator[Comparison]:
+        """Atoms of every conjunct, in order."""
         for part in self.parts:
             yield from part.atoms()
 
     def conjuncts(self) -> Iterator[Predicate]:
+        """Flattened top-level conjuncts (nested ``And`` nodes unrolled)."""
         for part in self.parts:
             yield from part.conjuncts()
 
@@ -163,6 +167,7 @@ class Query:
         raise NotImplementedError
 
     def arity(self) -> int:
+        """The number of output attributes."""
         return len(self.output_attributes())
 
     def subqueries(self) -> Iterator["Query"]:
@@ -178,6 +183,7 @@ class Query:
                 yield node
 
     def relation_names(self) -> tuple[str, ...]:
+        """Occurrence names of all relation atoms, in left-to-right order."""
         return tuple(r.name for r in self.relations())
 
     @property
@@ -200,21 +206,27 @@ class Query:
 
     # -- combinators (fluent construction) -------------------------------------
     def select(self, condition: Predicate) -> "Selection":
+        """σ: filter this query's rows by ``condition``."""
         return Selection(self, condition)
 
     def project(self, attributes: Sequence[Attribute | str]) -> "Projection":
+        """π: keep only ``attributes`` (strings resolve via :meth:`attribute`)."""
         return Projection(self, attributes)
 
     def product(self, other: "Query") -> "Product":
+        """×: Cartesian product with ``other`` (attribute sets must not overlap)."""
         return Product(self, other)
 
     def join(self, other: "Query", condition: Predicate | None = None) -> "Join":
+        """⋈: equi-join with ``other``; natural join when ``condition`` is None."""
         return Join(self, other, condition)
 
     def union(self, other: "Query") -> "Union":
+        """∪: set union with a union-compatible ``other``."""
         return Union(self, other)
 
     def difference(self, other: "Query") -> "Difference":
+        """−: set difference with a union-compatible ``other``."""
         return Difference(self, other)
 
     # -- misc -------------------------------------------------------------------
@@ -256,6 +268,7 @@ class Relation(Query):
         return cls(name, schema[base or name].attributes, base=base)
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """Each schema attribute qualified by this occurrence's name."""
         return tuple(Attribute(self.name, a) for a in self.attribute_names)
 
     def __getitem__(self, attribute: str) -> Attribute:
@@ -282,6 +295,7 @@ class Selection(Query):
         return self.children[0]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """Selection preserves its child's output attributes."""
         return self.child.output_attributes()
 
 
@@ -307,6 +321,7 @@ class Projection(Query):
         return self.children[0]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """Exactly the projected attributes, in projection order."""
         return self.attributes
 
 
@@ -331,6 +346,7 @@ class Product(Query):
         return self.children[1]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """Left attributes followed by right attributes."""
         return self.left.output_attributes() + self.right.output_attributes()
 
 
@@ -377,6 +393,7 @@ class Join(Query):
         return self.children[1]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """Left attributes followed by right attributes (no fusion)."""
         return self.left.output_attributes() + self.right.output_attributes()
 
 
@@ -399,6 +416,7 @@ class Union(Query):
         return self.children[1]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """The left side's attributes (union is positional)."""
         return self.left.output_attributes()
 
 
@@ -421,6 +439,7 @@ class Difference(Query):
         return self.children[1]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """The left side's attributes (difference is positional)."""
         return self.left.output_attributes()
 
 
@@ -438,6 +457,7 @@ class Rename(Query):
         return self.children[0]
 
     def output_attributes(self) -> tuple[Attribute, ...]:
+        """The child's attributes re-qualified under the new occurrence name."""
         return tuple(Attribute(self.name, a.name) for a in self.child.output_attributes())
 
 

@@ -122,6 +122,7 @@ class DatabaseSchema:
         return cls(RelationSchema(name, attrs) for name, attrs in spec.items())
 
     def add(self, relation: RelationSchema) -> None:
+        """Declare a relation; duplicate names raise :class:`SchemaError`."""
         if relation.name in self._relations:
             raise SchemaError(f"relation {relation.name!r} already declared")
         self._relations[relation.name] = relation
@@ -154,9 +155,11 @@ class DatabaseSchema:
 
     # -- helpers -------------------------------------------------------------
     def relation_names(self) -> tuple[str, ...]:
+        """All declared relation names, in declaration order."""
         return tuple(self._relations)
 
     def get(self, name: str) -> RelationSchema | None:
+        """The relation schema for ``name``, or ``None`` when undeclared."""
         return self._relations.get(name)
 
     def with_renaming(self, mapping: Mapping[str, str]) -> "DatabaseSchema":

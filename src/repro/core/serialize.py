@@ -25,20 +25,24 @@ from .schema import DatabaseSchema
 # ---------------------------------------------------------------------------
 
 def schema_to_dict(schema: DatabaseSchema) -> dict[str, list[str]]:
+    """JSON-ready ``{relation: [attributes]}`` mapping for ``schema``."""
     return {relation.name: list(relation.attributes) for relation in schema}
 
 
 def schema_from_dict(data: dict[str, list[str]]) -> DatabaseSchema:
+    """Rebuild a :class:`DatabaseSchema` from :func:`schema_to_dict` output."""
     if not isinstance(data, dict):
         raise SchemaError("database schema JSON must be an object of relation -> attributes")
     return DatabaseSchema.from_dict(data)
 
 
 def dump_schema(schema: DatabaseSchema, path: str | Path) -> None:
+    """Write ``schema`` to ``path`` as pretty-printed JSON."""
     Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2) + "\n")
 
 
 def load_schema(path: str | Path) -> DatabaseSchema:
+    """Read a schema previously written by :func:`dump_schema`."""
     return schema_from_dict(json.loads(Path(path).read_text()))
 
 
@@ -47,6 +51,7 @@ def load_schema(path: str | Path) -> DatabaseSchema:
 # ---------------------------------------------------------------------------
 
 def constraint_to_dict(constraint: AccessConstraint) -> dict:
+    """JSON-ready object for one access constraint (sorted lhs/rhs)."""
     data = {
         "relation": constraint.relation,
         "lhs": sorted(constraint.lhs),
@@ -59,6 +64,7 @@ def constraint_to_dict(constraint: AccessConstraint) -> dict:
 
 
 def constraint_from_dict(data: dict) -> AccessConstraint:
+    """Rebuild an :class:`AccessConstraint`; missing fields raise SchemaError."""
     try:
         return AccessConstraint.of(
             data["relation"],
@@ -72,20 +78,24 @@ def constraint_from_dict(data: dict) -> AccessConstraint:
 
 
 def access_schema_to_list(access_schema: AccessSchema | Iterable[AccessConstraint]) -> list[dict]:
+    """JSON-ready list of constraint objects, in schema order."""
     return [constraint_to_dict(constraint) for constraint in access_schema]
 
 
 def access_schema_from_list(
     data: list[dict], schema: DatabaseSchema | None = None
 ) -> AccessSchema:
+    """Rebuild an :class:`AccessSchema`, optionally validating against ``schema``."""
     if not isinstance(data, list):
         raise SchemaError("access schema JSON must be a list of constraint objects")
     return AccessSchema((constraint_from_dict(item) for item in data), schema=schema)
 
 
 def dump_access_schema(access_schema: AccessSchema, path: str | Path) -> None:
+    """Write the access schema to ``path`` as pretty-printed JSON."""
     Path(path).write_text(json.dumps(access_schema_to_list(access_schema), indent=2) + "\n")
 
 
 def load_access_schema(path: str | Path, schema: DatabaseSchema | None = None) -> AccessSchema:
+    """Read an access schema previously written by :func:`dump_access_schema`."""
     return access_schema_from_list(json.loads(Path(path).read_text()), schema=schema)

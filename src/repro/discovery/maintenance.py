@@ -66,6 +66,10 @@ class MaintenanceReport:
     work_units: int = 0
     #: relations whose data the batch actually changed (skipped updates excluded)
     touched_relations: set[str] = field(default_factory=set)
+    #: the updates that actually changed data, in application order — the
+    #: write delta the cache-repair path derives patches from (skipped
+    #: duplicates/missing rows excluded, like ``touched_relations``)
+    applied_updates: list[Update] = field(default_factory=list)
     #: the database's global data version after the batch (None if nothing changed)
     version: int | None = None
     #: True when the batch aborted part-way (see :class:`MaintenanceError`)
@@ -167,6 +171,7 @@ def _apply_one_update(
         indexes.apply_insert(update.relation, update.row)
         report.applied += 1
         report.touched_relations.add(update.relation)
+        report.applied_updates.append(update)
         for constraint in constraints:
             index = indexes.get(constraint)
             if index is None:
@@ -186,6 +191,7 @@ def _apply_one_update(
         indexes.apply_delete(update.relation, update.row, relation)
         report.applied += 1
         report.touched_relations.add(update.relation)
+        report.applied_updates.append(update)
 
 
 def maintain_constraints(

@@ -85,6 +85,16 @@ class ExecutionResult:
     ``rows_processed`` the total rows emitted across all steps, so the
     optimizer's row-vs-columnar choices are auditable per execution.
     ``step_cardinalities`` breaks ``rows_processed`` down per step.
+
+    ``env`` is the frozen per-step row environment, captured only when the
+    caller asked for it (``capture_env=True``) — it is the
+    memoized-intermediates handle the delta-maintenance path
+    (:mod:`repro.core.deltas`) repairs cached results from.  Columnar
+    intermediates are frozen back to row sets (``to_frozenset``), which both
+    kernel families produce identically per step; a caller-supplied
+    ``env_rows_budget`` skips capture for executions whose total
+    intermediate volume would make freezing (and caching) a bad trade —
+    notably virtual cross-products the columnar executor never materializes.
     """
 
     result: ResultSet
@@ -94,6 +104,7 @@ class ExecutionResult:
     executor_mode: str = "row"
     kernel_batches: int = 0
     rows_processed: int = 0
+    env: tuple[frozenset[Row], ...] | None = None
 
     @property
     def rows(self) -> frozenset[Row]:
@@ -191,9 +202,21 @@ class PlanExecutor:
         return dict(self._counters)
 
     def execute(
-        self, plan: BoundedPlan, counter: AccessCounter | None = None
+        self,
+        plan: BoundedPlan,
+        counter: AccessCounter | None = None,
+        *,
+        capture_env: bool = False,
+        env_rows_budget: int | None = None,
     ) -> ExecutionResult:
-        """Run ``plan`` and return its result with exact access accounting."""
+        """Run ``plan`` and return its result with exact access accounting.
+
+        ``capture_env`` freezes every step's row set into
+        :attr:`ExecutionResult.env` so the caller can cache the
+        intermediates for delta repair; when ``env_rows_budget`` is given,
+        capture is skipped (``env=None``) if the summed step cardinalities
+        exceed it.
+        """
         counter = counter if counter is not None else AccessCounter()
         compiled = self.compile(plan)
         started = time.perf_counter()
@@ -210,6 +233,17 @@ class PlanExecutor:
             if compiled.mode == "columnar"
             else frozenset(output),
         )
+        captured: tuple[frozenset[Row], ...] | None = None
+        if capture_env and (
+            env_rows_budget is None
+            or sum(cardinalities.values()) <= env_rows_budget
+        ):
+            captured = tuple(
+                step.to_frozenset()
+                if compiled.mode == "columnar"
+                else (step if isinstance(step, frozenset) else frozenset(step))
+                for step in env
+            )
         elapsed = time.perf_counter() - started
         rows_processed = sum(cardinalities.values())
         self._counters[f"{compiled.mode}_executions"] += 1
@@ -223,6 +257,7 @@ class PlanExecutor:
             executor_mode=compiled.mode,
             kernel_batches=len(compiled.kernels),
             rows_processed=rows_processed,
+            env=captured,
         )
 
     # ------------------------------------------------------------------

@@ -6,7 +6,12 @@ against the database's** :class:`~repro.storage.counters.VersionClock`
 **snapshot** while **writes serialize** through the engine's batched
 :meth:`~repro.core.engine.BoundedEngine.apply_updates` path — so no reader
 ever observes a half-applied batch, and a write batch costs one version bump
-plus one cache sweep no matter its size.
+plus one cache settlement no matter its size.  With the engine's delta
+repair (the default) that settlement *patches* dependent cached results in
+place instead of sweeping them; the per-write repair/invalidate outcomes are
+surfaced on :class:`~repro.serving.metrics.ServingMetrics`
+(``cache_repairs`` / ``cache_rows_patched`` / ``cache_repair_fallbacks`` /
+``cache_invalidated``) so soak reports can attribute cache churn to writes.
 
 What makes the tier *hardened* rather than hopeful is that the paper's
 central guarantee — a covered query touches at most ``access_bound()``
@@ -419,12 +424,17 @@ class BoundedServer:
             if deadline is not None and deadline.expired:
                 self.metrics.shed("deadline")
                 raise DeadlineExceededError("deadline expired waiting for the write lock")
+            cache_before = self.engine.cache_stats()["result_cache"]
             try:
                 report = self.engine.apply_updates(request.updates)
             except MaintenanceError as error:
                 # The applied prefix is kept and the engine has already settled
-                # the clock + cache sweeps over it, so readers can never see
-                # pre-batch cached rows: surface the partial outcome.
+                # the clock + caches over it (conservatively — failed batches
+                # sweep, never repair), so readers can never see pre-batch
+                # cached rows: surface the partial outcome.
+                self.metrics.record_cache_maintenance(
+                    cache_before, self.engine.cache_stats()["result_cache"]
+                )
                 self.metrics.write_failures += 1
                 self.metrics.finished("write_failed", self.clock() - started)
                 return ServeResponse(
@@ -435,6 +445,9 @@ class BoundedServer:
                     error=error,
                     report=error.report,
                 )
+            self.metrics.record_cache_maintenance(
+                cache_before, self.engine.cache_stats()["result_cache"]
+            )
             self.metrics.writes_applied += 1
             elapsed = self.clock() - started
             self.metrics.finished("write", elapsed)

@@ -43,6 +43,7 @@ import time
 from typing import Callable, Hashable, Iterable, Sequence
 
 from ..core.access import AccessSchema
+from ..core.deltas import FALLBACK, PATCHED, DeltaDeriver, WriteDelta
 from ..core.engine import EngineResult, PreparedQuery, prepare_query
 from ..core.errors import (
     CircuitOpenError,
@@ -351,6 +352,19 @@ class ShardRouter:
     federated result is served only while *no* shard has written a dependent
     relation.
 
+    **Snapshot-validation contract.**  Every cached federated result carries
+    the concatenation of per-shard clock snapshots taken *before* the
+    execution that filled it; ``execute`` serves the entry only on an exact
+    snapshot match.  With ``delta_repair`` (the default), a routed write
+    batch repairs dependent entries in place via
+    :class:`~repro.core.deltas.DeltaDeriver` instead of sweeping them — but
+    only when the entry's stored snapshot equals the pre-batch federated
+    snapshot (i.e. *this batch* is the only change since fill) **and** no
+    shard epoch moves during the derivation itself.  A direct shard write
+    (bypassing the router) breaks the first condition; a racing write breaks
+    the second; either way the entry is invalidated, never patched.  Writes
+    that fail mid-batch always sweep conservatively.
+
     ``write_observer``, when set, is called with every routed update batch
     after it fully applies — the seam the sharded soak uses to keep its
     single-database reference in lockstep with the federation.
@@ -367,6 +381,8 @@ class ShardRouter:
         result_cache_size: int = 256,
         max_snapshot_retries: int = 2,
         optimize: bool = True,
+        delta_repair: bool = True,
+        repair_env_rows: int = 200_000,
         fallback_breaker: object | None = None,
         write_observer: Callable[[list], None] | None = None,
     ):
@@ -381,7 +397,8 @@ class ShardRouter:
         self.partitioner = partitioner
         self.access_schema = access_schema
         self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
-        self.result_cache = ResultCache(result_cache_size)
+        self.result_cache = ResultCache(result_cache_size, max_env_rows=repair_env_rows)
+        self.delta_repair = delta_repair
         #: router-level clock: one bump per routed write batch.  The serving
         #: tier's lock-free read validation runs against this clock (the
         #: ``engine.clock`` seam); per-shard clocks guard the merges.
@@ -392,6 +409,11 @@ class ShardRouter:
         self.write_observer = write_observer
         self.metrics = RouterMetrics()
         self._executor = FederatedExecutor(self)
+        # Repair re-runs dirty fetch kernels through the federated executor
+        # itself (row-mode by construction), so patched partials are merged
+        # exactly as a fresh scatter would merge them.  No group_lookup: the
+        # router has no single live index to compare against.
+        self._deriver = DeltaDeriver(self._executor, partitioner.schema)
         #: the conventional-evaluation seam, same as the engine's (tests and
         #: the fault injector wrap the attribute, not the module function).
         self._fallback_evaluator = evaluate_conventional
@@ -481,7 +503,11 @@ class ShardRouter:
                         cached=cached,
                         result_cached=True,
                     )
-                execution = self._executor.execute(prepared.executable)
+                execution = self._executor.execute(
+                    prepared.executable,
+                    capture_env=self.delta_repair and self.result_cache.capacity > 0,
+                    env_rows_budget=self.result_cache.max_env_rows,
+                )
                 if all(
                     shard.validate(dependencies, part)
                     for shard, part in zip(self.shards, parts)
@@ -492,6 +518,8 @@ class ShardRouter:
                         columns=execution.columns,
                         dependencies=dependencies,
                         snapshot=federated,
+                        env=execution.env,
+                        plan=prepared.executable,
                     )
                     return EngineResult(
                         rows=execution.rows,
@@ -652,22 +680,46 @@ class ShardRouter:
         cross-row updates commute.  Each shard applies its portion through
         its own batched maintenance path (one shard-clock bump per portion);
         the router then settles *its* state once for the whole batch — one
-        router-clock bump over every touched relation plus one targeted
-        sweep of the plan store and result cache.
+        router-clock bump over every touched relation plus one settlement of
+        the caches.
+
+        With ``delta_repair`` (the default) the settlement is one derivation
+        pass: the routed batch becomes a single
+        :class:`~repro.core.deltas.WriteDelta` and every dependent
+        result-cache entry is repaired or invalidated per-entry
+        (:meth:`_repair_result_cache`); the plan store is untouched because
+        prepared plans are data-independent.  Without it, both caches are
+        swept targetedly (the legacy contract).
 
         If a shard aborts its portion, portions already applied stay applied
         (there is no cross-shard transaction — by design: each portion is
         itself atomic-enough under the single-writer serving tier), the
-        router still settles over everything that did change, and a
-        :class:`~repro.core.errors.MaintenanceError` carrying the merged
-        partial report propagates.
+        router still settles over everything that did change — always by
+        sweeping, never by repair: a mid-batch fault makes shard state
+        suspect — and a :class:`~repro.core.errors.MaintenanceError`
+        carrying the merged partial report propagates.
         """
         from ..discovery.maintenance import MaintenanceReport
 
+        updates = list(updates)
         batches: list[list] = [[] for _ in self.shards]
         for update in updates:
             owner = self.partitioner.shard_for_row(update.relation, update.row)
             batches[owner].append(update)
+
+        # Pre-batch federated snapshots, per dependent entry: repair is only
+        # sound for entries whose stored snapshot still equals this (the
+        # routed batch is then provably the only change since fill).
+        pre_entries: list[tuple] = []
+        if self.delta_repair:
+            write_relations = {update.relation for update in updates}
+            for key, entry in self.result_cache.entries_for(write_relations):
+                pre = tuple(
+                    v
+                    for shard in self.shards
+                    for v in shard.snapshot(entry.dependencies)
+                )
+                pre_entries.append((key, entry, pre))
 
         merged = MaintenanceReport()
         applied: list = []
@@ -692,14 +744,68 @@ class ShardRouter:
         if merged.touched_relations:
             touched = sorted(merged.touched_relations)
             self.clock.bump(touched)
-            self._discard_compiled(self.plan_cache.invalidate(touched))
-            self.result_cache.invalidate(touched)
+            if self.delta_repair and failure is None:
+                self._repair_result_cache(
+                    touched, pre_entries, WriteDelta.from_updates(applied)
+                )
+            else:
+                self._discard_compiled(self.plan_cache.invalidate(touched))
+                self.result_cache.invalidate(touched)
             merged.version = self.clock.global_version
         if failure is not None:
             raise MaintenanceError(str(failure), report=merged)
         if self.write_observer is not None and applied:
             self.write_observer(applied)
         return merged
+
+    def _repair_result_cache(
+        self, touched: list[str], pre_entries: list[tuple], delta: WriteDelta
+    ) -> None:
+        """Settle dependent result-cache entries after a clean routed batch.
+
+        Per entry, in order: (1) the entry's stored snapshot must equal the
+        pre-batch federated snapshot captured in :meth:`apply_updates` —
+        otherwise something else (a direct shard write, an earlier batch)
+        moved the data since fill and the entry is dropped as ``stale``;
+        (2) the entry must carry a captured environment and plan (``no_env``
+        otherwise); (3) the deriver decides clean/patch/fallback, scattering
+        dirty fetches to the *live* shards; (4) shard epochs are re-validated
+        against a post-batch snapshot taken before the derivation — if any
+        shard moved mid-derivation the patched rows could mix epochs, so the
+        entry is dropped as ``race``.  Only then is the entry re-stamped
+        with the post-batch snapshot.
+        """
+        touched_set = frozenset(touched)
+        for key, entry, pre_snapshot in pre_entries:
+            scope = tuple(r for r in entry.dependencies if r in touched_set)
+            if not scope:
+                continue  # the batch's effective writes never reached it
+            if entry.snapshot != pre_snapshot:
+                self.result_cache.drop(key, reason="stale", relations=scope)
+                continue
+            if entry.env is None or entry.plan is None:
+                self.result_cache.drop(key, reason="no_env", relations=scope)
+                continue
+            parts = [shard.snapshot(entry.dependencies) for shard in self.shards]
+            outcome = self._deriver.derive(entry.plan, entry.env, entry.rows, delta)
+            if outcome.status == FALLBACK:
+                self.result_cache.drop(key, reason=outcome.reason, relations=scope)
+                continue
+            if not all(
+                shard.validate(entry.dependencies, part)
+                for shard, part in zip(self.shards, parts)
+            ):
+                self.result_cache.drop(key, reason="race", relations=scope)
+                continue
+            patched = outcome.status == PATCHED
+            self.result_cache.repair(
+                key,
+                rows=outcome.rows if patched else entry.rows,
+                env=outcome.env if patched else entry.env,
+                snapshot=tuple(v for part in parts for v in part),
+                rows_added=outcome.rows_added,
+                rows_removed=outcome.rows_removed,
+            )
 
     @staticmethod
     def _merge_report(merged, report) -> None:
@@ -739,6 +845,7 @@ def build_topology(
     partition_keys=None,
     plan_store: PlanStore | None = None,
     result_cache_size: int = 256,
+    delta_repair: bool = True,
     fallback_breaker: object | None = None,
     write_observer: Callable[[list], None] | None = None,
 ) -> ShardRouter:
@@ -788,6 +895,7 @@ def build_topology(
         access_schema,
         plan_store=store,
         result_cache_size=result_cache_size,
+        delta_repair=delta_repair,
         fallback_breaker=fallback_breaker,
         write_observer=write_observer,
     )

@@ -1,0 +1,209 @@
+"""Delta maintenance of cached results: derivability, repair, fallback seams.
+
+Structural rules first (which writes are derivable through which plans), then
+the engine-level contract: dirty writes patch cached entries in place, writes
+into unprobed index groups re-stamp without execution, and anything the
+deriver cannot prove — difference plans, missing environments — invalidates
+rather than ever serving a stale repaired entry.
+"""
+
+import pytest
+
+from repro.core.deltas import CLEAN, FALLBACK, PATCHED, DeltaDeriver, WriteDelta
+from repro.core.engine import BoundedEngine, prepare_query
+from repro.discovery.maintenance import Update
+from repro.evaluator.algebra import evaluate
+from repro.workloads import facebook
+
+
+class TestWriteDelta:
+    def test_groups_rows_by_relation_and_direction(self):
+        delta = WriteDelta(
+            inserts={"r": [(1,), (2,)]},
+            deletes={"s": [(3,)], "r": [(9,)]},
+        )
+        assert delta.touched == {"r", "s"}
+        assert delta.rows_for("r") == ((1,), (2,), (9,))
+        assert delta.rows_for("s") == ((3,),)
+        assert delta.rows_for("t") == ()
+        assert bool(delta)
+
+    def test_empty_relations_are_dropped(self):
+        delta = WriteDelta(inserts={"r": []}, deletes={})
+        assert not delta
+        assert delta.touched == frozenset()
+
+    def test_from_updates_buckets_by_kind(self):
+        updates = [
+            Update.insert("friend", ("p0", "f1")),
+            Update.delete("friend", ("p0", "f2")),
+            Update.insert("cafe", ("c1", "nyc")),
+        ]
+        delta = WriteDelta.from_updates(updates)
+        assert delta.inserts == {"friend": (("p0", "f1"),), "cafe": (("c1", "nyc"),)}
+        assert delta.deletes == {"friend": (("p0", "f2"),)}
+        assert delta.touched == {"friend", "cafe"}
+
+
+class TestDerivability:
+    """Static reachability: monotone plans derive, difference plans refuse."""
+
+    @pytest.fixture
+    def deriver(self, fb_schema):
+        return DeltaDeriver(None, fb_schema)  # structural checks never execute
+
+    def test_monotone_plan_is_derivable_for_every_relation(self, deriver, fb_access):
+        prepared = prepare_query(facebook.query_q1(), fb_access)
+        for relation in prepared.dependencies:
+            assert deriver.derivable(prepared.executable, frozenset([relation]))
+
+    def test_difference_plan_refuses_every_touched_relation(self, deriver, fb_access):
+        # q0 rewrites to a guard-difference plan; every dependent relation's
+        # fetches reach the DifferenceOp, so no write through it is derivable.
+        prepared = prepare_query(facebook.query_q0(), fb_access)
+        assert prepared.rewrite == "guard-difference"
+        for relation in prepared.dependencies:
+            assert not deriver.derivable(prepared.executable, frozenset([relation]))
+
+    def test_untouched_plan_is_trivially_derivable(self, deriver, fb_access):
+        prepared = prepare_query(facebook.query_q0(), fb_access)
+        assert deriver.derivable(prepared.executable, frozenset(["unrelated"]))
+        assert deriver.affected_fetches(prepared.executable, frozenset(["zzz"])) == ()
+
+    def test_affected_fetches_resolve_base_relations(self, deriver, fb_access):
+        prepared = prepare_query(facebook.query_q1(), fb_access)
+        plan = prepared.executable
+        affected = deriver.affected_fetches(plan, frozenset(["friend"]))
+        assert affected  # q1 fetches friend through psi1
+        for fetch_id in affected:
+            constraint = plan.steps[fetch_id].op.constraint
+            base = plan.occurrences.get(constraint.relation, constraint.relation)
+            assert base == "friend"
+
+
+class TestEngineRepair:
+    """The wired contract: BoundedEngine writes settle entries via the deriver."""
+
+    def test_unprobed_key_restamps_without_execution(self, fb_database, fb_access):
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        # A cafe whose cid no cached fetch ever probed: the write cannot be
+        # visible through the plan, so the entry is re-stamped, not re-run.
+        engine.apply_insert("cafe", ("c_unseen", "nowhere"))
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repaired"] == 1
+        assert stats["repaired_clean"] == 1
+        assert stats["rows_patched"] == 0
+        assert engine.execute(q1).result_cached
+
+    def test_probed_key_patches_rows_in_place(self, fb_database, fb_access):
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        engine.apply_insert("cafe", ("c_d", "nyc"))
+        engine.apply_insert("friend", ("p0", "p_d"))
+        engine.apply_insert("dine", ("p_d", "c_d", "may", 2015))
+        result = engine.execute(q1)
+        assert result.result_cached
+        assert ("c_d",) in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repaired"] == 3
+        assert stats["rows_patched"] >= 1
+        assert stats["repair_fallbacks"] == 0
+
+    def test_difference_plan_invalidates_never_repairs(self, fb_database, fb_access):
+        # Satellite 5: the fallback seam.  A cached guard-difference entry
+        # must be dropped on a dependent write — patching through a
+        # difference could *keep* rows the write should have removed.
+        engine = BoundedEngine(fb_database, fb_access)
+        q0 = facebook.query_q0()
+        first = engine.execute(q0)
+        assert first.rewrite == "guard-difference"
+        assert engine.execute(q0).result_cached
+        engine.apply_insert("friend", ("p0", "p_diff"))
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repair_fallbacks"] == 1
+        assert stats["repair_fallback_reasons"] == {"difference": 1}
+        assert sum(stats["invalidated_by"].values()) == 1
+        result = engine.execute(q0)
+        assert not result.result_cached  # recomputed, not served repaired
+        assert result.rows == evaluate(q0, fb_database).rows
+
+    def test_env_budget_zero_degrades_to_invalidation(self, fb_database, fb_access):
+        # With no environment admitted, repair has nothing to re-execute
+        # over: every dependent write must fall back to dropping the entry.
+        engine = BoundedEngine(fb_database, fb_access, repair_env_rows=0)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        # The executor's capture guard already refused the environment.
+        (entry,) = [e for _, e in engine.result_cache.entries_for(("friend",))]
+        assert entry.env is None
+        engine.apply_insert("friend", ("p0", "p_nb"))
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repaired"] == 0
+        assert stats["repair_fallback_reasons"] == {"no_env": 1}
+        result = engine.execute(q1)
+        assert not result.result_cached
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_mixed_batch_patches_inserts_and_deletes_together(
+        self, fb_database, fb_access
+    ):
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.apply_insert("cafe", ("c_old", "nyc"))
+        engine.apply_insert("friend", ("p0", "p_old"))
+        engine.apply_insert("dine", ("p_old", "c_old", "may", 2015))
+        assert ("c_old",) in engine.execute(q1).rows
+        engine.apply_updates(
+            [
+                Update.delete("dine", ("p_old", "c_old", "may", 2015)),
+                Update.insert("cafe", ("c_new2", "nyc")),
+                Update.insert("friend", ("p0", "p_new2")),
+                Update.insert("dine", ("p_new2", "c_new2", "may", 2015)),
+            ]
+        )
+        result = engine.execute(q1)
+        assert result.result_cached
+        assert ("c_old",) not in result.rows
+        assert ("c_new2",) in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_out_of_band_write_makes_entry_stale_not_repaired(
+        self, fb_database, fb_access
+    ):
+        # A Database.insert that bypasses the engine bumps the clock without
+        # running a derivation; the *next* engine write then sees a snapshot
+        # mismatch and must drop the entry rather than repair over unknown
+        # intermediate state.
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        fb_database.insert("friend", ("p0", "p_oob"))
+        engine.apply_insert("friend", ("p0", "p_oob2"))
+        engine.indexes.apply_insert("friend", ("p0", "p_oob"))  # re-sync for reads
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repaired"] == 0
+        assert stats["repair_fallback_reasons"] == {"stale": 1}
+
+    def test_repair_outcome_metadata_names_dirty_steps(self, fb_database, fb_access):
+        engine = BoundedEngine(fb_database, fb_access)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        (entry,) = [entry for _, entry in engine.result_cache.entries_for(("friend",))]
+        assert entry.env is not None and entry.plan is not None
+        # Keep the pre-write environment: the engine's own settlement patches
+        # the live entry in place, after which the same delta derives clean.
+        env, rows, plan = entry.env, entry.rows, entry.plan
+        engine.apply_insert("friend", ("p0", "p_meta"))
+        # Derive by hand against the applied write: the friend fetches are
+        # dirty and only their downstream closure re-runs.
+        outcome = engine._deriver.derive(
+            plan, env, rows, WriteDelta(inserts={"friend": (("p0", "p_meta"),)})
+        )
+        assert outcome.status == PATCHED
+        assert outcome.dirty_steps
+        assert 0 < outcome.steps_recomputed < len(plan.steps)
+        assert outcome.rows == rows  # a friend with no dines adds no cafes

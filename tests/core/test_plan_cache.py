@@ -137,8 +137,34 @@ class TestCachedExecution:
 
 class TestInvalidation:
     def test_insert_invalidates_and_results_stay_correct(
+        self, fb_database, fb_access
+    ):
+        # Legacy sweep-on-write contract: with delta repair off, a dependent
+        # write drops the plan-store entry (one sweep per write).
+        engine = BoundedEngine(fb_database, fb_access, delta_repair=False)
+        q1 = facebook.query_q1()
+        before = engine.execute(q1)
+        assert engine.execute(q1).cached
+        engine.apply_insert("cafe", ("c_new", "nyc"))
+        engine.apply_insert("friend", ("p0", "p_new"))
+        engine.apply_insert("dine", ("p_new", "c_new", "may", 2015))
+        after = engine.execute(q1)
+        assert not after.cached  # the entry was dropped by the first dependent write
+        stats = engine.cache_stats()["plan_store"]
+        assert stats["sweeps"] == 3  # one sweep per write...
+        assert stats["invalidated"] == 1  # ...but only one entry ever dropped
+        # satellite fix: the sweep names the relation that triggered it
+        assert sum(stats["invalidated_by"].values()) == 1
+        assert set(stats["invalidated_by"]) <= {"cafe", "friend", "dine"}
+        assert ("c_new",) in after.rows
+        assert after.rows == evaluate(q1, fb_database).rows
+        assert before.rows <= after.rows
+
+    def test_insert_repairs_cached_result_by_default(
         self, cached_engine, fb_database
     ):
+        # Delta-repair contract (the default): dependent writes patch the
+        # cached result in place and leave the plan store alone.
         q1 = facebook.query_q1()
         before = cached_engine.execute(q1)
         assert cached_engine.execute(q1).cached
@@ -146,15 +172,32 @@ class TestInvalidation:
         cached_engine.apply_insert("friend", ("p0", "p_new"))
         cached_engine.apply_insert("dine", ("p_new", "c_new", "may", 2015))
         after = cached_engine.execute(q1)
-        assert not after.cached  # the entry was dropped by the first dependent write
-        stats = cached_engine.cache_stats()["plan_store"]
-        assert stats["sweeps"] == 3  # one sweep per write...
-        assert stats["invalidated"] == 1  # ...but only one entry ever dropped
+        assert after.cached  # plan store untouched on the repair path
+        stats = cached_engine.cache_stats()
+        assert stats["plan_store"]["sweeps"] == 0
+        result_cache = stats["result_cache"]
+        assert result_cache["repaired"] == 3  # one repair decision per write
+        assert after.result_cached  # the repaired entry itself was served
         assert ("c_new",) in after.rows
         assert after.rows == evaluate(q1, fb_database).rows
         assert before.rows <= after.rows
 
     def test_delete_invalidates_and_results_stay_correct(
+        self, fb_database, fb_access
+    ):
+        engine = BoundedEngine(fb_database, fb_access, delta_repair=False)
+        q1 = facebook.query_q1()
+        engine.apply_insert("cafe", ("c_gone", "nyc"))
+        engine.apply_insert("friend", ("p0", "p88"))
+        engine.apply_insert("dine", ("p88", "c_gone", "may", 2015))
+        assert ("c_gone",) in engine.execute(q1).rows
+        engine.apply_delete("dine", ("p88", "c_gone", "may", 2015))
+        result = engine.execute(q1)
+        assert not result.cached
+        assert ("c_gone",) not in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_delete_repairs_cached_result_by_default(
         self, cached_engine, fb_database
     ):
         q1 = facebook.query_q1()
@@ -164,7 +207,7 @@ class TestInvalidation:
         assert ("c_gone",) in cached_engine.execute(q1).rows
         cached_engine.apply_delete("dine", ("p88", "c_gone", "may", 2015))
         result = cached_engine.execute(q1)
-        assert not result.cached
+        assert result.result_cached  # the delete was patched out of the entry
         assert ("c_gone",) not in result.rows
         assert result.rows == evaluate(q1, fb_database).rows
 

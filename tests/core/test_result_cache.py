@@ -70,8 +70,10 @@ class TestEngineResultCache:
         assert stats["hits"] == 1 and stats["misses"] == 1
 
     def test_dependent_insert_recomputes_correct_rows(self, hot_cold_setup):
+        """Legacy contract: with delta repair off, a dependent insert drops
+        the entry and the next read recomputes."""
         database, access, hot_query = hot_cold_setup
-        engine = BoundedEngine(database, access)
+        engine = BoundedEngine(database, access, delta_repair=False)
         engine.execute(hot_query)
         engine.apply_insert("hot", ("a", 4))
         result = engine.execute(hot_query)
@@ -79,13 +81,33 @@ class TestEngineResultCache:
         assert (4,) in result.rows
         assert result.rows == evaluate(hot_query, database).rows
 
+    def test_dependent_insert_repairs_entry_by_default(self, hot_cold_setup):
+        database, access, hot_query = hot_cold_setup
+        engine = BoundedEngine(database, access)
+        engine.execute(hot_query)
+        engine.apply_insert("hot", ("a", 4))
+        result = engine.execute(hot_query)
+        assert result.result_cached  # the entry was patched, not dropped
+        assert (4,) in result.rows
+        assert result.rows == evaluate(hot_query, database).rows
+
     def test_dependent_delete_recomputes_correct_rows(self, hot_cold_setup):
+        database, access, hot_query = hot_cold_setup
+        engine = BoundedEngine(database, access, delta_repair=False)
+        assert (2,) in engine.execute(hot_query).rows
+        engine.apply_delete("hot", ("a", 2))
+        result = engine.execute(hot_query)
+        assert not result.result_cached
+        assert (2,) not in result.rows
+        assert result.rows == evaluate(hot_query, database).rows
+
+    def test_dependent_delete_repairs_entry_by_default(self, hot_cold_setup):
         database, access, hot_query = hot_cold_setup
         engine = BoundedEngine(database, access)
         assert (2,) in engine.execute(hot_query).rows
         engine.apply_delete("hot", ("a", 2))
         result = engine.execute(hot_query)
-        assert not result.result_cached
+        assert result.result_cached  # the delete was patched out in place
         assert (2,) not in result.rows
         assert result.rows == evaluate(hot_query, database).rows
 
@@ -193,7 +215,29 @@ class TestSharedPlanStore:
         assert prepared_opt.executable is not prepared_opt.plan
 
     def test_write_on_one_engine_invalidates_shared_entry_for_both(self, fb_access):
-        """A shared store is swept by whichever engine takes the write."""
+        """A shared store is swept by whichever engine takes the write.
+
+        This is the legacy (``delta_repair=False``) contract; with delta
+        repair on, plan-store entries survive writes because prepared plans
+        are data-independent (covered below).
+        """
+        store = PlanStore(capacity=32)
+        db_a = facebook.generate(scale=30, seed=1)
+        db_b = facebook.generate(scale=30, seed=2)
+        engine_a = BoundedEngine(db_a, fb_access, plan_store=store, delta_repair=False)
+        engine_b = BoundedEngine(db_b, fb_access, plan_store=store, delta_repair=False)
+        q1 = facebook.query_q1()
+        engine_a.execute(q1)
+        assert engine_b.execute(q1).cached
+        engine_a.apply_insert("friend", ("p0", "p_x"))
+        # the shared entry was dropped; either engine re-prepares on demand
+        result_b = engine_b.execute(q1)
+        assert not result_b.cached
+        assert result_b.rows == evaluate(q1, db_b).rows
+
+    def test_write_with_delta_repair_keeps_shared_plan_entry(self, fb_access):
+        """With delta repair (the default) a write leaves the shared store
+        alone — each engine's *result* cache is settled individually."""
         store = PlanStore(capacity=32)
         db_a = facebook.generate(scale=30, seed=1)
         db_b = facebook.generate(scale=30, seed=2)
@@ -203,7 +247,9 @@ class TestSharedPlanStore:
         engine_a.execute(q1)
         assert engine_b.execute(q1).cached
         engine_a.apply_insert("friend", ("p0", "p_x"))
-        # the shared entry was dropped; either engine re-prepares on demand
+        result_a = engine_a.execute(q1)
         result_b = engine_b.execute(q1)
-        assert not result_b.cached
+        assert result_a.cached and result_b.cached  # plan entry survived
+        assert result_b.result_cached  # engine B's result was never touched
+        assert result_a.rows == evaluate(q1, db_a).rows
         assert result_b.rows == evaluate(q1, db_b).rows

@@ -154,7 +154,35 @@ class TestEngineBatchUpdates:
         from repro.core.engine import BoundedEngine
         from repro.evaluator.algebra import evaluate
 
-        engine = BoundedEngine(fb_database, fb_access)
+        engine = BoundedEngine(fb_database, fb_access, delta_repair=False)
+        q1 = facebook.query_q1()
+        engine.execute(q1)
+        assert engine.execute(q1).result_cached
+        base_version = fb_database.version
+        report = engine.apply_updates(
+            [
+                Update.insert("cafe", ("c_b", "nyc")),
+                Update.insert("friend", ("p0", "p_b")),
+                Update.insert("dine", ("p_b", "c_b", "may", 2015)),
+            ]
+        )
+        assert report.applied == 3
+        assert report.applied_updates[0].row == ("c_b", "nyc")
+        assert fb_database.version == base_version + 1  # one bump for the batch
+        assert report.version == fb_database.version
+        assert engine.cache_stats()["plan_store"]["sweeps"] == 1  # one sweep too
+        result = engine.execute(q1)
+        assert not result.cached
+        assert ("c_b",) in result.rows
+        assert result.rows == evaluate(q1, fb_database).rows
+
+    def test_engine_batch_repairs_cached_result_with_delta_maintenance(
+        self, fb_database, fb_access
+    ):
+        from repro.core.engine import BoundedEngine
+        from repro.evaluator.algebra import evaluate
+
+        engine = BoundedEngine(fb_database, fb_access)  # delta repair default
         q1 = facebook.query_q1()
         engine.execute(q1)
         assert engine.execute(q1).result_cached
@@ -168,10 +196,12 @@ class TestEngineBatchUpdates:
         )
         assert report.applied == 3
         assert fb_database.version == base_version + 1  # one bump for the batch
-        assert report.version == fb_database.version
-        assert engine.cache_stats()["plan_store"]["sweeps"] == 1  # one sweep too
+        # one derivation pass for the whole batch, not one per update
+        stats = engine.cache_stats()["result_cache"]
+        assert stats["repaired"] == 1
+        assert engine.cache_stats()["plan_store"]["sweeps"] == 0
         result = engine.execute(q1)
-        assert not result.cached
+        assert result.cached and result.result_cached
         assert ("c_b",) in result.rows
         assert result.rows == evaluate(q1, fb_database).rows
 

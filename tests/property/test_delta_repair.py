@@ -1,0 +1,183 @@
+"""Property: repaired cache entries are row-identical to recomputation.
+
+Random interleavings of reads and mixed insert/delete write batches run
+against a :class:`~repro.core.engine.BoundedEngine` (and, in the second
+class, a :class:`~repro.sharding.router.ShardRouter` federation) with delta
+repair on.  Every read — whether served from a repaired entry, a re-stamped
+entry, or a fresh execution — must equal the reference evaluator over the
+current data, and the difference-rewritten query must never be served from a
+repaired entry at all (its plan is structurally non-derivable).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import BoundedEngine
+from repro.discovery.maintenance import Update
+from repro.evaluator.algebra import evaluate
+from repro.sharding import build_topology
+from repro.workloads import facebook
+
+MONTHS = ("may", "jun")
+YEARS = (2015, 2016)
+CITIES = ("nyc", "sf")
+
+#: op codes: read q1 / read q0 / single insert / single delete / mixed batch
+READ_Q1, READ_Q0, INSERT, DELETE, BATCH = range(5)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from([READ_Q1, READ_Q0, INSERT, DELETE, BATCH]),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    min_size=6,
+    max_size=14,
+)
+
+
+def _make_insert(relation: str, arg: int, fresh: int) -> Update:
+    if relation == "friend":
+        return Update.insert("friend", (f"p{arg % 6}", f"nf{fresh}"))
+    if relation == "dine":
+        return Update.insert(
+            "dine",
+            (
+                f"nf{arg % max(1, fresh)}" if arg % 2 else f"p{arg % 6}",
+                f"nc{arg % 4}",
+                MONTHS[arg % len(MONTHS)],
+                YEARS[arg % len(YEARS)],
+            ),
+        )
+    return Update.insert("cafe", (f"nc{arg % 4}", CITIES[arg % len(CITIES)]))
+
+
+def _make_delete(database, relation: str, arg: int) -> Update | None:
+    rows = sorted(database.relation(relation).rows)
+    if not rows:
+        return None
+    return Update.delete(relation, rows[arg % len(rows)])
+
+
+def _updates_for(database, op: int, arg: int, fresh: int) -> list[Update]:
+    relations = ("friend", "dine", "cafe")
+    if op == INSERT:
+        return [_make_insert(relations[arg % 3], arg, fresh)]
+    if op == DELETE:
+        victim = _make_delete(database, relations[arg % 3], arg)
+        return [victim] if victim is not None else []
+    # BATCH: a mixed insert/delete batch across relations
+    batch = [
+        _make_insert(relations[arg % 3], arg, fresh),
+        _make_insert(relations[(arg + 1) % 3], arg // 3, fresh + 1),
+    ]
+    victim = _make_delete(database, relations[(arg + 2) % 3], arg // 2)
+    if victim is not None:
+        batch.append(victim)
+    return batch
+
+
+class TestEngineRepairProperty:
+    @given(st.integers(min_value=0, max_value=50), operations)
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_reads_always_match_reference_under_interleaved_writes(self, seed, ops):
+        database = facebook.generate(scale=15, seed=seed)
+        access = facebook.access_schema(database.schema)
+        engine = BoundedEngine(database, access, check_constraints=False)
+        q1 = facebook.query_q1()
+        q0 = facebook.query_q0()
+        engine.execute(q1)  # warm the cache so writes have entries to settle
+        engine.execute(q0)
+        fresh = 0
+        for op, arg in ops:
+            if op == READ_Q1 or op == READ_Q0:
+                query = q1 if op == READ_Q1 else q0
+                result = engine.execute(query)
+                assert result.rows == evaluate(query, database).rows
+                if op == READ_Q0 and result.result_cached:
+                    # q0's guard-difference plan is never derivable: a served
+                    # cached entry can only come from a no-write window.
+                    assert engine.cache_stats()["result_cache"]["repaired"] == 0 or (
+                        engine.cache_stats()["result_cache"]["repair_fallback_reasons"]
+                    )
+            else:
+                updates = _updates_for(database, op, arg, fresh)
+                fresh += len(updates)
+                if updates:
+                    engine.apply_updates(updates)
+        # Terminal read: whatever mixture of repairs/restamps/invalidations
+        # happened, both queries still answer exactly.
+        assert engine.execute(q1).rows == evaluate(q1, database).rows
+        assert engine.execute(q0).rows == evaluate(q0, database).rows
+
+    @given(st.integers(min_value=0, max_value=50), operations)
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_repaired_serves_equal_full_recomputation(self, seed, ops):
+        """The sharper form: compare a repairing engine against a twin with
+        repair disabled on the same database — byte-identical serving."""
+        database = facebook.generate(scale=15, seed=seed)
+        access = facebook.access_schema(database.schema)
+        repairing = BoundedEngine(database, access, check_constraints=False)
+        recomputing = BoundedEngine(database, access, check_constraints=False, delta_repair=False)
+        q1 = facebook.query_q1()
+        repairing.execute(q1)
+        fresh = 0
+        for op, arg in ops:
+            if op in (READ_Q1, READ_Q0):
+                assert repairing.execute(q1).rows == recomputing.execute(q1).rows
+            else:
+                updates = _updates_for(database, op, arg, fresh)
+                fresh += len(updates)
+                if not updates:
+                    continue
+                # Apply through the repairing engine; hand the twin the same
+                # already-applied state (it shares the database, so only its
+                # indexes need the writes that actually landed).
+                report = repairing.apply_updates(updates)
+                for update in report.applied_updates:
+                    if update.kind == "insert":
+                        recomputing.indexes.apply_insert(update.relation, update.row)
+                    else:
+                        recomputing.indexes.apply_delete(
+                            update.relation,
+                            update.row,
+                            database.relation(update.relation),
+                        )
+        assert repairing.execute(q1).rows == recomputing.execute(q1).rows
+        assert repairing.execute(q1).rows == evaluate(q1, database).rows
+
+
+class TestRouterRepairProperty:
+    @given(st.integers(min_value=0, max_value=25), operations)
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_federated_reads_match_reference_under_routed_writes(self, seed, ops):
+        database = facebook.generate(scale=12, seed=seed)
+        access = facebook.access_schema(database.schema)
+
+        def mirror(updates):
+            for update in updates:
+                instance = database.relation(update.relation)
+                prepared = instance.prepare(update.row)
+                if update.kind == "insert":
+                    instance.insert(prepared)
+                else:
+                    instance.delete(prepared)
+
+        router = build_topology(database, access, shards=2, write_observer=mirror)
+        q1 = facebook.query_q1()
+        router.execute(q1)
+        fresh = 0
+        for op, arg in ops:
+            if op in (READ_Q1, READ_Q0):
+                result = router.execute(q1)
+                assert result.rows == evaluate(q1, database).rows
+            else:
+                updates = _updates_for(database, op, arg, fresh)
+                fresh += len(updates)
+                if updates:
+                    router.apply_updates(updates)
+        assert router.execute(q1).rows == evaluate(q1, database).rows

@@ -98,8 +98,9 @@ class TestFederatedReads:
         assert router.execute(query).rows == evaluate(query, database).rows
         assert router.metrics.routed > 0
 
-    def test_result_cache_round_trip_survives_routed_writes(self):
-        router, database = mirrored_topology()
+    @pytest.mark.parametrize("delta_repair", [False, True])
+    def test_result_cache_round_trip_survives_routed_writes(self, delta_repair):
+        router, database = mirrored_topology(delta_repair=delta_repair)
         query = facebook.query_q1()
         reference = evaluate(query, database).rows
         assert router.execute(query).rows == reference
@@ -111,7 +112,9 @@ class TestFederatedReads:
         assert router.metrics.write_batches == 1
 
         result = router.execute(query)
-        assert not result.result_cached
+        # Legacy: the routed write sweeps the entry and the read recomputes.
+        # Delta repair: the entry is patched in place and served directly.
+        assert result.result_cached is delta_repair
         assert result.rows == evaluate(query, database).rows
 
 
@@ -196,6 +199,114 @@ class TestRoutedWrites:
         assert info.value.report.applied == 1
         assert info.value.report.failed
         assert router.clock.global_version == 1
+
+
+class TestDeltaRepairOverFederation:
+    """Routed writes repair the router-level cache; anything racing drops it."""
+
+    def test_routed_batch_patches_cached_federated_result(self):
+        router, database = mirrored_topology()
+        query = facebook.query_q1()
+        router.execute(query)
+        assert router.execute(query).result_cached
+        report = router.apply_updates(
+            [
+                Update.insert("cafe", ("c_fed", "nyc")),
+                Update.insert("friend", ("p0", "p_fed")),
+                Update.insert("dine", ("p_fed", "c_fed", "may", 2015)),
+            ]
+        )
+        assert report.applied == 3
+        stats = router.cache_stats()["result_cache"]
+        assert stats["repaired"] == 1  # one derivation pass for the batch
+        assert stats["repair_fallbacks"] == 0
+        assert router.cache_stats()["plan_store"]["sweeps"] == 0
+        result = router.execute(query)
+        assert result.result_cached
+        assert ("c_fed",) in result.rows
+        assert result.rows == evaluate(query, database).rows
+
+    def test_direct_shard_write_makes_entry_stale_never_repaired(self):
+        # Satellite 5: a write that bypasses the router moves a shard epoch
+        # without a derivation; the next routed batch must *drop* the entry
+        # (its fill snapshot no longer matches the pre-batch snapshot) —
+        # repairing would stamp over the unseen write.
+        router, database = mirrored_topology()
+        query = facebook.query_q1()
+        router.execute(query)
+        direct = Update.insert("friend", ("p0", "p_direct"))
+        owner = router.partitioner.shard_for_row("friend", direct.row)
+        router.shards[owner].apply_updates([direct])
+        database.insert("friend", direct.row)  # keep the reference in step
+        router.apply_updates([Update.insert("friend", ("p0", "p_routed"))])
+        stats = router.cache_stats()["result_cache"]
+        assert stats["repaired"] == 0
+        assert stats["repair_fallback_reasons"] == {"stale": 1}
+        result = router.execute(query)
+        assert not result.result_cached
+        assert result.rows == evaluate(query, database).rows
+
+    def test_write_racing_the_derivation_drops_entry_not_patches(self):
+        # Satellite 5, the narrower window: a shard write landing *while*
+        # the deriver re-scatters dirty fetches would let the patch merge
+        # mixed epochs; the post-derivation validate catches it and the
+        # entry is dropped as a race.
+        router, database = mirrored_topology()
+        query = facebook.query_q1()
+        router.execute(query)
+        side = Update.insert("cafe", ("c_race", "nyc"))
+        side_owner = router.partitioner.shard_for_row("cafe", side.row)
+        fired = []
+
+        for shard in router.shards:
+            original = shard.fetch
+
+            def racing(
+                constraint, base, keys, counter=None, predicate=None, _original=original
+            ):
+                partial = _original(constraint, base, keys, counter, predicate)
+                if not fired:
+                    fired.append(True)
+                    router.shards[side_owner].apply_updates([side])
+                    database.insert("cafe", side.row)
+                return partial
+
+            shard.fetch = racing
+
+        router.apply_updates([Update.insert("friend", ("p0", "p_mid"))])
+        stats = router.cache_stats()["result_cache"]
+        assert fired, "the derivation must have scattered at least one fetch"
+        assert stats["repaired"] == 0
+        assert stats["repair_fallback_reasons"] == {"race": 1}
+        result = router.execute(query)
+        assert result.rows == evaluate(query, database).rows
+
+    def test_failed_batch_sweeps_conservatively_instead_of_repairing(self):
+        router, database = mirrored_topology(shards=2)
+        query = facebook.query_q1()
+        router.execute(query)
+        assert router.execute(query).result_cached
+        by_shard = {0: None, 1: None}
+        for row in sorted(database.relation("friend").rows):
+            owner = router.partitioner.shard_for_row("friend", row)
+            if by_shard[owner] is None:
+                by_shard[owner] = row
+
+        def broken(updates):
+            raise MaintenanceError("injected shard failure")
+
+        router.shards[1].apply_updates = broken
+        with pytest.raises(MaintenanceError):
+            router.apply_updates(
+                [Update.delete("friend", by_shard[0]), Update.delete("friend", by_shard[1])]
+            )
+        database.relation("friend").delete(by_shard[0])  # mirror the applied prefix
+        stats = router.cache_stats()["result_cache"]
+        assert stats["repaired"] == 0
+        assert stats["invalidated"] == 1
+        result = router.execute(query)
+        assert not result.result_cached
+        assert result.rows == evaluate(query, database).rows
 
 
 class TestFallback:
