@@ -13,7 +13,10 @@ Correctness is asserted before anything is timed:
 * every covered query's federated rows are row-for-row identical to the
   uncached reference evaluator on every topology;
 * a routed mixed delete/re-insert batch leaves every query's rows identical
-  to the reference evaluated on a mirror database receiving the same batch.
+  to the reference evaluated on a mirror database receiving the same batch;
+* a replicated topology (2 replicas per shard) serves identical rows both
+  healthy and with one replica killed — the degraded throughput and the
+  failover/quarantine counters land in the report.
 
 The JSON report feeds ``track_trajectory.py --federated``, which merges the
 federated throughput into the tracked ``BENCH_trajectory.json`` under the
@@ -39,7 +42,7 @@ if str(SRC) not in sys.path:  # allow running without an editable install
 from repro.bench.experiments import select_covered_queries  # noqa: E402
 from repro.core.engine import BoundedEngine  # noqa: E402
 from repro.evaluator.algebra import evaluate  # noqa: E402
-from repro.sharding import build_topology  # noqa: E402
+from repro.sharding import ShardFaultInjector, build_topology  # noqa: E402
 from repro.workloads import WORKLOADS  # noqa: E402
 
 
@@ -103,6 +106,57 @@ def _check_write_identity(workload, queries, *, scale: int, shards: int,
     return report.applied
 
 
+def _bench_replicated(workload, queries, expected, single_qps, *, scale: int,
+                      shards: int, repeats: int) -> dict:
+    """Replicated topology: healthy throughput, then one replica killed.
+
+    Measures what replication costs on the hot path (lockstep writes are
+    free on reads; the extra cost is cloning at build time) and what a dead
+    replica costs once failover reads kick in.  Rows are asserted identical
+    to the reference before either number is taken, and again with the
+    replica dead — a failover read that served a wrong row would fail the
+    bench, not just skew it.
+    """
+    database = workload.database(scale=scale, seed=7)
+    router = build_topology(
+        database, workload.access_schema, shards=shards, replicas=2,
+        result_cache_size=0,
+    )
+    for query in queries:
+        rows = router.execute(query).rows
+        if rows != expected[id(query)]:
+            raise AssertionError(
+                f"replicated rows differ from the reference for:\n{query}"
+            )
+    healthy_qps = _throughput(router, queries, repeats)
+
+    injector = ShardFaultInjector(seed=7)
+    try:
+        injector.kill(router.shards[0].replicas[0])
+        for query in queries:
+            rows = router.execute(query).rows
+            if rows != expected[id(query)]:
+                raise AssertionError(
+                    f"failover rows differ from the reference for:\n{query}"
+                )
+        degraded_qps = _throughput(router, queries, repeats)
+    finally:
+        injector.uninstall()
+
+    replication = router.replication_stats()
+    return {
+        "replicas": 2,
+        "shards": shards,
+        "qps": round(healthy_qps, 2),
+        "ratio": round(healthy_qps / single_qps, 3) if single_qps else None,
+        "degraded_qps": round(degraded_qps, 2),
+        "degraded_ratio": (
+            round(degraded_qps / healthy_qps, 3) if healthy_qps else None
+        ),
+        "replication": replication,
+    }
+
+
 def bench_workload(name: str, *, scale: int, query_count: int, repeats: int,
                    shard_counts: tuple[int, ...]) -> dict:
     workload = WORKLOADS[name]
@@ -151,6 +205,10 @@ def bench_workload(name: str, *, scale: int, query_count: int, repeats: int,
     writes_applied = _check_write_identity(
         workload, queries, scale=scale, shards=max(shard_counts), batch_size=8
     )
+    replicated = _bench_replicated(
+        workload, queries, expected, single_qps,
+        scale=scale, shards=min(shard_counts), repeats=repeats,
+    )
 
     top = per_topology[str(max(shard_counts))]
     return {
@@ -161,6 +219,7 @@ def bench_workload(name: str, *, scale: int, query_count: int, repeats: int,
         "topologies": per_topology,
         "federated_qps": top["qps"],
         "federated_ratio": top["ratio"],
+        "replicated": replicated,
         "write_identity_updates": writes_applied,
     }
 
@@ -202,6 +261,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{name}: single {result['single_qps']:.1f} q/s | {per} | "
             f"rows identical, {result['write_identity_updates']} routed updates verified"
+        )
+        replicated = result["replicated"]
+        replication = replicated["replication"]
+        print(
+            f"{name}: replicated x{replicated['replicas']} "
+            f"{replicated['qps']:.1f} q/s healthy, "
+            f"{replicated['degraded_qps']:.1f} q/s with a replica killed "
+            f"({replicated['degraded_ratio']}x) | "
+            f"{replication['failovers']} failovers, "
+            f"{replication['quarantines']} quarantines, rows identical"
         )
 
     measured = [r for r in results if r.get("federated_ratio") is not None]

@@ -89,6 +89,9 @@ def federated_summary(federated_report: dict) -> dict:
     """
     federated_qps = {}
     merge_rows_mean = {}
+    replicated_qps = {}
+    degraded_ratio = {}
+    replication_counters = {}
     for workload in federated_report.get("workloads", []):
         if workload.get("federated_qps") is None:
             continue
@@ -100,12 +103,32 @@ def federated_summary(federated_report: dict) -> dict:
             merge_rows_mean[name] = largest.get("scatter_gather", {}).get(
                 "merge_rows_mean"
             )
-    return {
+        replicated = workload.get("replicated")
+        if replicated:
+            replicated_qps[name] = replicated.get("qps")
+            degraded_ratio[name] = replicated.get("degraded_ratio")
+            replication = replicated.get("replication", {})
+            for counter in ("failovers", "quarantines", "catch_ups",
+                            "hedged_reads", "rows_resynced"):
+                replication_counters[counter] = (
+                    replication_counters.get(counter, 0)
+                    + (replication.get(counter) or 0)
+                )
+    summary = {
         "shard_counts": federated_report.get("shard_counts"),
         "federated_qps": federated_qps,
         "mean_federated_ratio": federated_report.get("mean_federated_ratio"),
         "merge_rows_mean": merge_rows_mean,
     }
+    if replicated_qps:
+        # Replication health travels with the throughput numbers: a bench
+        # run whose kill-one-replica pass stopped failing over (or started
+        # quarantining everything) shows up in the trajectory, not just in
+        # soak artifacts.
+        summary["replicated_qps"] = replicated_qps
+        summary["replica_degraded_ratio"] = degraded_ratio
+        summary["replication"] = replication_counters
+    return summary
 
 
 def entry_from_report(report: dict) -> dict:

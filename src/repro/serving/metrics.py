@@ -52,6 +52,7 @@ class LatencyRecorder:
             key: {
                 "count": len(window),
                 "p50_ms": round((self.percentile(key, 50) or 0.0) * 1000, 3),
+                "p95_ms": round((self.percentile(key, 95) or 0.0) * 1000, 3),
                 "p99_ms": round((self.percentile(key, 99) or 0.0) * 1000, 3),
                 "max_ms": round(max(window) * 1000, 3),
             }

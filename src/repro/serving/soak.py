@@ -58,17 +58,35 @@ class SoakConfig:
     ``shards > 1`` serves through a federated
     :class:`~repro.sharding.router.ShardRouter` over a heterogeneous
     (memory/SQLite alternating) shard topology instead of a single engine.
-    Fault injection is disabled in sharded mode: the injector's seams are
-    engine-internal, and a partially-failed routed batch would leave the
-    reference mirror ambiguous — the sharded soak's job is the federation
-    contract (row-identity with the single-database reference, epoch-clean
-    merges), not chaos tolerance, which the single-engine soak keeps owning.
+    *Engine-seam* fault injection is disabled in sharded mode (those seams
+    are engine-internal, and a partially-failed routed batch would leave
+    the reference mirror ambiguous); sharded chaos instead targets the
+    shard-fetch seam through the scenario flags below, which the replica
+    layer must absorb without the mirror ever diverging:
+
+    * ``kill_shard`` — mid-run, one replica of logical shard 0 goes dead
+      (every fetch and write fails).  Reads must fail over to its sibling;
+      the first routed write quarantines it; served rows stay
+      row-identical to the reference throughout.
+    * ``flaky_shard`` — mid-run, one replica turns intermittently faulty
+      (fetch errors + latency, periodic torn writes) and its replica set
+      serves stale epoch tokens with some probability.  Failover, torn-
+      write quarantine, catch-up and re-admission all cycle under load.
+    * ``rebalance`` — mid-run, a key range of one dependency relation
+      migrates between logical shards under traffic, epoch-guarded.
+
+    ``kill_shard``/``flaky_shard`` force ``replicas`` to at least 2 (a
+    faulted *sole* replica would correctly fail its routed portion, but
+    then the mirror could not tell which prefix applied — with a sibling,
+    the set absorbs the fault and the routed batch stays atomic at the
+    federation level).
     """
 
     workload: str = "AIRCA"
     scale: int = 120
     seed: int = 0
     shards: int = 1
+    replicas: int = 1
     requests: int = 200
     write_ratio: float = 0.2
     covered_queries: int = 8
@@ -80,11 +98,20 @@ class SoakConfig:
     queue_depth: int = 32
     workers: int = 4
     deadline: float = 10.0
+    #: sharded chaos scenarios (need ``shards > 1``)
+    kill_shard: bool = False
+    flaky_shard: bool = False
+    rebalance: bool = False
     #: injected fault intensities (only read when ``faults`` is set)
     executor_error_rate: float = 0.08
     executor_latency: float = 0.0005
     fallback_latency: float = 0.05
     storage_fail_every: int = 17
+    #: flaky-shard intensities (only read when ``flaky_shard`` is set)
+    flaky_error_rate: float = 0.3
+    flaky_latency: float = 0.002
+    flaky_torn_write_every: int = 5
+    flaky_stale_snapshot_rate: float = 0.15
 
 
 @dataclass
@@ -163,8 +190,20 @@ def run_soak(config: SoakConfig) -> dict:
     database = workload.database(scale=config.scale, seed=config.seed)
     sharded = config.shards > 1
     faults_active = config.faults and not sharded
+    scenario_active = config.kill_shard or config.flaky_shard or config.rebalance
+    if scenario_active and not sharded:
+        raise ReproError(
+            "chaos scenarios (kill_shard / flaky_shard / rebalance) need shards > 1"
+        )
+    effective_replicas = config.replicas
+    if (config.kill_shard or config.flaky_shard) and effective_replicas < 2:
+        effective_replicas = 2
+    shard_injector = None
+    scenario_log: dict = {}
     if sharded:
-        from ..sharding import build_topology
+        from ..sharding import ShardFaultInjector, ShardFaultSpec, build_topology
+
+        shard_injector = ShardFaultInjector(seed=config.seed)
 
         # ``database`` stays behind as the single-database *reference*: the
         # topology owns disjoint fragment copies, and the router's
@@ -187,6 +226,7 @@ def run_soak(config: SoakConfig) -> dict:
             database,
             workload.access_schema,
             shards=config.shards,
+            replicas=effective_replicas,
             write_observer=_mirror,
         )
     else:
@@ -252,12 +292,95 @@ def run_soak(config: SoakConfig) -> dict:
     )
     server = BoundedServer(engine, server_config, post_check=post_check)
 
+    def _arm_chaos() -> None:
+        """Turn the scenario faults on, mid-run (shard-fetch seam only)."""
+        if config.kill_shard:
+            target_set = engine.shards[0]
+            victim = target_set.replicas[0]
+            shard_injector.kill(victim)
+            scenario_log["killed_replica"] = victim.name
+            # Exercise the failover read *before* the next routed write can
+            # quarantine the dead member (a quarantined member never gets a
+            # fetch, so failover would be unobservable): sweep the federated
+            # result cache and scatter covered reads until one fetches
+            # through the victim's set and fails over to its sibling.
+            engine.result_cache.invalidate(None)
+            before = target_set.failovers
+            for query in covered:
+                try:
+                    engine.execute(query)
+                except ReproError:
+                    pass
+                if target_set.failovers > before:
+                    break
+        if config.flaky_shard:
+            target_set = engine.shards[min(1, len(engine.shards) - 1)]
+            victim = target_set.replicas[0]
+            shard_injector.install_shard(victim)
+            shard_injector.configure(
+                f"{victim.name}.fetch",
+                ShardFaultSpec(
+                    latency=config.flaky_latency, error_rate=config.flaky_error_rate
+                ),
+            )
+            shard_injector.configure(
+                f"{victim.name}.write",
+                ShardFaultSpec(torn_write_every=config.flaky_torn_write_every),
+            )
+            # The *set* also starts reporting stale epoch tokens sometimes;
+            # the router's merge-time validation must refuse to serve
+            # through them (a retry or a typed TransientFault, never rows).
+            shard_injector.install_shard(target_set)
+            shard_injector.configure(
+                f"{target_set.name}.snapshot",
+                ShardFaultSpec(stale_snapshot_rate=config.flaky_stale_snapshot_rate),
+            )
+            scenario_log["flaky_replica"] = victim.name
+
+    def _run_rebalance() -> None:
+        """Migrate the busiest dependency relation's middle key range."""
+        relation = max(
+            sorted(dependencies), key=lambda name: len(database.relation(name))
+        )
+        position = engine.partitioner._positions[relation]
+        values = sorted({row[position] for row in database.relation(relation).rows})
+        if len(values) < 4:
+            scenario_log["rebalance"] = {"skipped": f"{relation}: too few keys"}
+            return
+        lo, hi = values[len(values) // 4], values[(3 * len(values)) // 4]
+        owners: dict[int, int] = {}
+        for value in values:
+            if lo <= value < hi:
+                owner = engine.partitioner.shard_for_value(relation, value)
+                owners[owner] = owners.get(owner, 0) + 1
+        src = max(owners, key=lambda index: owners[index])
+        dst = (src + 1) % config.shards
+        try:
+            report = engine.rebalance(relation, (lo, hi), src, dst)
+        except TransientFault as error:
+            scenario_log["rebalance"] = {"aborted": str(error)}
+        else:
+            scenario_log["rebalance"] = report.snapshot()
+
+    arm_at = config.requests // 3 if (config.kill_shard or config.flaky_shard) else None
+    rebalance_at = (config.requests * 2) // 3 if config.rebalance else None
+
     async def _drive() -> None:
         async with server:
             # Phase A — randomized mixed read/write traffic, in waves small
-            # enough that the queue never fills (phase B tests that).
+            # enough that the queue never fills (phase B tests that).  The
+            # chaos scenarios arm a third of the way in and the rebalance
+            # runs two thirds in, so each sees pre-fault traffic, runs under
+            # continuing traffic, and stays armed through phases B–D.
             pending: list[asyncio.Task] = []
-            for _ in range(config.requests):
+            for issued in range(config.requests):
+                if issued == arm_at or issued == rebalance_at:
+                    await _settle(pending)
+                    pending = []
+                    if issued == arm_at:
+                        _arm_chaos()
+                    if issued == rebalance_at:
+                        _run_rebalance()
                 roll = rng.random()
                 if roll < config.write_ratio:
                     request: ReadRequest | WriteRequest = WriteRequest(
@@ -327,6 +450,8 @@ def run_soak(config: SoakConfig) -> dict:
         asyncio.run(_drive())
     finally:
         injector.uninstall()
+        if shard_injector is not None:
+            shard_injector.uninstall()
 
     stats = server.stats()
     covered_p99_ms = max(
@@ -356,6 +481,7 @@ def run_soak(config: SoakConfig) -> dict:
     if sharded:
         router_stats = engine.stats()
         scatter = router_stats["scatter_gather"]
+        replication = router_stats["replication"]
         checks.update(
             {
                 # Every served read already row-matched the single-database
@@ -367,15 +493,45 @@ def run_soak(config: SoakConfig) -> dict:
                 "writes_routed": scatter["write_batches"] > 0,
             }
         )
+        if config.kill_shard or config.flaky_shard:
+            # The scenarios' own contract: faulted portions were recovered
+            # on a sibling, and the faulty member left the rotation.
+            checks["replica_failover_served"] = replication["failovers"] > 0
+            checks["replica_quarantined"] = replication["quarantines"] > 0
+        if config.flaky_shard:
+            # Intermittent faults heal: the quarantined member must have
+            # been caught up (and so re-admitted) at least once.
+            checks["replica_caught_up"] = replication["catch_ups"] > 0
+        if config.rebalance:
+            checks["rebalance_completed"] = scatter["rebalances"] >= 1
+            checks["rebalance_moved_rows"] = scatter["rebalance_rows_moved"] > 0
         report_extra["router"] = router_stats
+        report_extra["shard_faults"] = shard_injector.stats()
+        if scenario_active:
+            report_extra["scenario"] = scenario_log
+    # Per-rung latency distribution (the degradation ladder: bounded,
+    # result_cache, conventional, write, …) — the soak's tail-latency view,
+    # read from the same recorder the serving tier reports.
+    latency_rungs = {
+        rung: {
+            key: sample[key]
+            for key in ("count", "p50_ms", "p95_ms", "p99_ms")
+            if key in sample
+        }
+        for rung, sample in stats["serving"]["latency"].items()
+    }
     return {
         "config": {
             "workload": config.workload,
             "scale": config.scale,
             "seed": config.seed,
             "shards": config.shards,
+            "replicas": effective_replicas,
             "requests": config.requests,
             "faults": faults_active,
+            "kill_shard": config.kill_shard,
+            "flaky_shard": config.flaky_shard,
+            "rebalance": config.rebalance,
             "verify": config.verify,
         },
         **report_extra,
@@ -393,6 +549,7 @@ def run_soak(config: SoakConfig) -> dict:
             "other_errors": outcome.other_errors[:5],
         },
         "covered_p99_ms": covered_p99_ms,
+        "latency_rungs": latency_rungs,
         "server": stats,
         "faults": injector.stats(),
         "checks": checks,

@@ -5,9 +5,24 @@ SQLite mirrors), scatter the fetch steps of covered bounded plans to the
 owning shards, and merge the bounded partials centrally under per-shard
 epoch validation.  See :mod:`repro.sharding.router` for the soundness
 argument and :mod:`repro.sharding.partition` for the partitioning schemes.
+
+The self-healing layer on top: :mod:`repro.sharding.replica` (replica
+groups with failover, quarantine and catch-up), :mod:`repro.sharding.
+faults` (seeded fault injection at the shard-fetch seam), and
+:mod:`repro.sharding.rebalance` (epoch-guarded online key-range
+migration).
 """
 
-from .partition import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from .faults import ShardFaultInjector, ShardFaultSpec
+from .partition import (
+    HashPartitioner,
+    Partitioner,
+    PartitionOverlay,
+    RangePartitioner,
+    stable_hash,
+)
+from .rebalance import RebalanceReport, rebalance_key_range
+from .replica import ReplicaHealth, ReplicaSet
 from .router import FederatedExecutor, RouterMetrics, ShardRouter, build_topology
 from .shards import EngineShard, Shard, SQLiteShard
 
@@ -16,11 +31,18 @@ __all__ = [
     "FederatedExecutor",
     "HashPartitioner",
     "Partitioner",
+    "PartitionOverlay",
     "RangePartitioner",
+    "RebalanceReport",
+    "ReplicaHealth",
+    "ReplicaSet",
     "RouterMetrics",
     "Shard",
+    "ShardFaultInjector",
+    "ShardFaultSpec",
     "ShardRouter",
     "SQLiteShard",
     "build_topology",
+    "rebalance_key_range",
     "stable_hash",
 ]

@@ -1,0 +1,281 @@
+"""Deterministic fault injection at the shard-fetch seam.
+
+The serving tier's :class:`~repro.serving.faults.FaultInjector` perturbs
+*engine-internal* seams (executor, fallback, storage writes); it cannot
+express the failure modes a federation actually meets — a shard that is
+slow, dead, returns stale epoch tokens, or tears a routed write batch.
+This module wraps the three calls the router (or a
+:class:`~repro.sharding.replica.ReplicaSet`) makes into a shard —
+
+* ``fetch`` — the scatter half of scatter/gather; faults here are what
+  failover reads must absorb,
+* ``apply_updates`` — the routed write portion; faults here are what
+  replica quarantine + catch-up must absorb,
+* ``snapshot`` — the epoch token; staleness here is what the merge-time
+  snapshot validation must catch
+
+— following the same instance-attribute-only discipline as the serving
+injector: wrappers replace attributes on concrete shard *instances* (never
+classes or modules) and ``uninstall()`` restores every original, so an
+injector mounts inside a test or soak run and tears down without trace.
+All randomness comes from per-site ``random.Random`` streams derived from
+one seed, so fault schedules are exactly reproducible and independent
+across sites.
+
+Failure semantics, chosen to match the contracts the federation already
+promises:
+
+* **fetch / snapshot errors** raise :class:`~repro.core.errors.
+  TransientFault` *before* the underlying call runs, so a failed-then-
+  failed-over fetch never double-counts accessed tuples.
+* **write errors** (``error_rate`` / ``fail_every``) also fire before the
+  mutation — the injected mode is "this portion did not happen at all",
+  the clean-miss divergence a lagging replica exhibits.
+* **torn writes** apply a strict prefix of the batch through the real
+  write path, then raise :class:`~repro.core.errors.MaintenanceError`
+  carrying the partial report — the mid-batch abort contract of
+  :func:`~repro.discovery.maintenance.apply_updates`.
+* **lost writes** silently swallow the batch and return an empty report —
+  the one failure mode *no* exception surfaces, detectable only by
+  snapshot validation on a later read (the replica-divergence scenario).
+* **stale snapshots** return the snapshot a previous call returned for the
+  same relation tuple — a shard reporting an old epoch, which the router's
+  post-merge validation must refuse to serve through.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.errors import MaintenanceError, TransientFault
+from ..discovery.maintenance import MaintenanceReport
+from .shards import Shard
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """What to inject at one shard site.
+
+    ``latency`` (+ uniform ``latency_jitter``) is slept before the call;
+    ``error_rate`` raises a :class:`TransientFault` with that probability
+    and ``fail_every`` deterministically fails every Nth call (counted from
+    1) — both before the underlying call runs.  The remaining modes are
+    seam-specific: ``stale_snapshot_rate`` only affects ``snapshot`` sites,
+    ``torn_write_every`` / ``lost_write_every`` only affect write sites.
+    An injected failure still pays the injected latency, like a real
+    slow-then-dead dependency.
+    """
+
+    latency: float = 0.0
+    latency_jitter: float = 0.0
+    error_rate: float = 0.0
+    fail_every: int | None = None
+    #: probability a ``snapshot`` call returns the previous epoch token
+    stale_snapshot_rate: float = 0.0
+    #: every Nth write batch applies a strict prefix, then aborts
+    torn_write_every: int | None = None
+    #: every Nth write batch is silently swallowed (no error, no mutation)
+    lost_write_every: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.latency > 0.0
+            or self.latency_jitter > 0.0
+            or self.error_rate > 0.0
+            or self.fail_every is not None
+            or self.stale_snapshot_rate > 0.0
+            or self.torn_write_every is not None
+            or self.lost_write_every is not None
+        )
+
+
+#: the spec :meth:`ShardFaultInjector.kill` arms: every call fails
+KILLED = ShardFaultSpec(fail_every=1)
+
+
+class ShardFaultInjector:
+    """Wraps shard seams at named sites and perturbs calls deterministically.
+
+    Sites are named ``{shard.name}.fetch`` / ``.write`` / ``.snapshot`` by
+    :meth:`install_shard`; ``configure(site, spec)`` arms a site (before or
+    after installation).  One injector owns every site of one federation.
+    """
+
+    def __init__(self, seed: int = 0, sleeper: Callable[[float], None] = time.sleep):
+        self.seed = seed
+        self.sleeper = sleeper
+        self._specs: dict[str, ShardFaultSpec] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._calls: dict[str, int] = {}
+        #: per-site count of faults actually injected (errors, torn, lost, stale)
+        self.injected: dict[str, int] = {}
+        self._installed: list[tuple[object, str, object]] = []
+        self._wrapped_sites: set[str] = set()
+        #: last clean snapshot returned, per (site, relations) — stale mode replays it
+        self._snapshots: dict[tuple[str, tuple[str, ...]], tuple[int, ...]] = {}
+
+    # -- configuration ---------------------------------------------------------
+    def configure(self, site: str, spec: ShardFaultSpec) -> None:
+        """Arm ``site`` with ``spec`` (a default/empty spec disarms it)."""
+        if spec.active:
+            self._specs[site] = spec
+            self._rngs.setdefault(site, random.Random((self.seed, site).__repr__()))
+        else:
+            self._specs.pop(site, None)
+
+    def calls(self, site: str) -> int:
+        return self._calls.get(site, 0)
+
+    # -- the perturbations -----------------------------------------------------
+    def _tick(self, site: str) -> tuple[ShardFaultSpec | None, int, random.Random | None]:
+        spec = self._specs.get(site)
+        if spec is None:
+            return None, 0, None
+        count = self._calls.get(site, 0) + 1
+        self._calls[site] = count
+        rng = self._rngs[site]
+        delay = spec.latency
+        if spec.latency_jitter > 0.0:
+            delay += rng.uniform(0.0, spec.latency_jitter)
+        if delay > 0.0:
+            self.sleeper(delay)
+        return spec, count, rng
+
+    def _count_injection(self, site: str) -> None:
+        self.injected[site] = self.injected.get(site, 0) + 1
+
+    def _raise(self, site: str, detail: str) -> None:
+        self._count_injection(site)
+        raise TransientFault(f"injected at {site!r}: {detail}")
+
+    def _basic_faults(
+        self, site: str, spec: ShardFaultSpec, count: int, rng: random.Random
+    ) -> None:
+        if spec.fail_every is not None and count % spec.fail_every == 0:
+            self._raise(site, f"deterministic shard fault (call #{count})")
+        if spec.error_rate > 0.0 and rng.random() < spec.error_rate:
+            self._raise(site, f"random shard fault (call #{count})")
+
+    # -- seam installers -------------------------------------------------------
+    def _install_attr(self, obj: object, attr: str, wrapper: Callable) -> None:
+        original = getattr(obj, attr)
+        was_instance_attr = attr in getattr(obj, "__dict__", {})
+        self._installed.append((obj, attr, original if was_instance_attr else None))
+        wrapper.__wrapped__ = original
+        setattr(obj, attr, wrapper)
+
+    def install_shard(self, shard: Shard) -> None:
+        """Wrap ``shard``'s fetch / write / snapshot seams (idempotent).
+
+        Installation arms nothing by itself — sites fire only once
+        ``configure`` gives them an active spec, so a soak can wrap every
+        shard up front and arm scenarios mid-run.
+        """
+        if shard.name in self._wrapped_sites:
+            return
+        self._wrapped_sites.add(shard.name)
+        fetch_site = f"{shard.name}.fetch"
+        write_site = f"{shard.name}.write"
+        snapshot_site = f"{shard.name}.snapshot"
+
+        original_fetch = shard.fetch
+
+        def faulty_fetch(*args, **kwargs):
+            spec, count, rng = self._tick(fetch_site)
+            if spec is not None:
+                self._basic_faults(fetch_site, spec, count, rng)
+            return original_fetch(*args, **kwargs)
+
+        self._install_attr(shard, "fetch", faulty_fetch)
+
+        original_apply = shard.apply_updates
+
+        def faulty_apply(updates):
+            updates = list(updates)
+            spec, count, rng = self._tick(write_site)
+            if spec is not None:
+                self._basic_faults(write_site, spec, count, rng)
+                if (
+                    spec.lost_write_every is not None
+                    and count % spec.lost_write_every == 0
+                ):
+                    # The silent failure mode: claim success, mutate nothing.
+                    self._count_injection(write_site)
+                    return MaintenanceReport()
+                if (
+                    spec.torn_write_every is not None
+                    and count % spec.torn_write_every == 0
+                    and len(updates) > 1
+                ):
+                    self._count_injection(write_site)
+                    prefix = updates[: len(updates) // 2]
+                    report = original_apply(prefix)
+                    report.failed = True
+                    report.failed_update = updates[len(prefix)]
+                    report.error = f"injected at {write_site!r}: torn write"
+                    raise MaintenanceError(
+                        f"injected at {write_site!r}: batch torn after "
+                        f"{len(prefix)} of {len(updates)} updates",
+                        report=report,
+                    )
+            return original_apply(updates)
+
+        self._install_attr(shard, "apply_updates", faulty_apply)
+
+        original_snapshot = shard.snapshot
+
+        def faulty_snapshot(relations):
+            relations = tuple(relations)
+            spec, count, rng = self._tick(snapshot_site)
+            stale_key = (snapshot_site, relations)
+            if (
+                spec is not None
+                and spec.stale_snapshot_rate > 0.0
+                and rng.random() < spec.stale_snapshot_rate
+                and stale_key in self._snapshots
+            ):
+                self._count_injection(snapshot_site)
+                return self._snapshots[stale_key]
+            if spec is not None:
+                self._basic_faults(snapshot_site, spec, count, rng)
+            token = original_snapshot(relations)
+            self._snapshots[stale_key] = token
+            return token
+
+        self._install_attr(shard, "snapshot", faulty_snapshot)
+
+    def kill(self, shard: Shard) -> None:
+        """Make ``shard`` fail every fetch and write from now on (dead node)."""
+        self.install_shard(shard)
+        self.configure(f"{shard.name}.fetch", KILLED)
+        self.configure(f"{shard.name}.write", KILLED)
+
+    def uninstall(self) -> None:
+        """Restore every wrapped seam to its original callable."""
+        while self._installed:
+            obj, attr, original = self._installed.pop()
+            if original is None:
+                delattr(obj, attr)
+            else:
+                setattr(obj, attr, original)
+        self._wrapped_sites.clear()
+
+    def __enter__(self) -> "ShardFaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- reporting -------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            site: {
+                "calls": self._calls.get(site, 0),
+                "injected": self.injected.get(site, 0),
+            }
+            for site in sorted(self._specs)
+        }

@@ -99,6 +99,68 @@ class Partitioner:
         return fragments
 
 
+class PartitionOverlay(Partitioner):
+    """A base partitioner plus an ordered list of rebalance overrides.
+
+    Online rebalancing moves a key range between shards without rebuilding
+    the base partition map: each override is ``(lo, hi, src, dst)`` on one
+    relation, read as "keys in ``[lo, hi)`` that the map *so far* assigns to
+    ``src`` now belong to ``dst``".  The ``src`` guard is what makes
+    overrides sound under hash partitioning: a plain range→dst rule would
+    also remap keys owned by *other* shards whose rows were never moved.
+    Overrides chain in application order, so a range moved twice follows
+    both hops.  Keys that do not compare with the range bounds (mixed-type
+    hash keys) are left with their current owner — such keys were never
+    part of the migrated range.
+
+    The overlay shares the base partitioner's schema, key attributes and
+    shard count, so it is a drop-in :class:`Partitioner` everywhere the
+    router consults one (fetch routing, write routing, bulk splitting).
+    """
+
+    def __init__(self, base: Partitioner):
+        if isinstance(base, PartitionOverlay):
+            raise StorageError("refusing to stack a PartitionOverlay on another")
+        self.base = base
+        self.schema = base.schema
+        self.shard_count = base.shard_count
+        self._attributes = base._attributes
+        self._positions = base._positions
+        self._overrides: dict[str, list[tuple]] = {}
+
+    def add_override(self, relation: str, lo, hi, src: int, dst: int) -> None:
+        """Append one migration rule; effective for all later assignments."""
+        for shard in (src, dst):
+            if not (0 <= shard < self.shard_count):
+                raise StorageError(
+                    f"override shard {shard} out of range for "
+                    f"{self.shard_count} shards"
+                )
+        if src == dst:
+            raise StorageError("override source and destination must differ")
+        self._overrides.setdefault(relation, []).append((lo, hi, src, dst))
+
+    def overrides(self, relation: str) -> tuple[tuple, ...]:
+        return tuple(self._overrides.get(relation, ()))
+
+    @property
+    def override_count(self) -> int:
+        return sum(len(rules) for rules in self._overrides.values())
+
+    def shard_for_value(self, relation: str, value: object) -> int:
+        owner = self.base.shard_for_value(relation, value)
+        for lo, hi, src, dst in self._overrides.get(relation, ()):
+            if owner != src:
+                continue
+            try:
+                moved = lo <= value < hi
+            except TypeError:
+                continue
+            if moved:
+                owner = dst
+        return owner
+
+
 class HashPartitioner(Partitioner):
     """``shard = stable_hash(key) % shard_count`` — even, data-oblivious spread."""
 

@@ -78,7 +78,9 @@ from ..serving.metrics import LatencyRecorder
 from ..storage.counters import AccessCounter, VersionClock
 from ..storage.database import Database
 from ..storage.index import IndexSet
-from .partition import HashPartitioner, Partitioner
+from .partition import HashPartitioner, Partitioner, PartitionOverlay
+from .rebalance import RebalanceReport, rebalance_key_range
+from .replica import ReplicaSet
 from .shards import EngineShard, Shard, SQLiteShard
 
 Row = tuple
@@ -110,6 +112,15 @@ class RouterMetrics:
         self.mixed_epoch_aborts = 0
         #: write batches routed through the shards
         self.write_batches = 0
+        #: shard-local fetch-partial cache traffic, summed over the shards
+        #: that keep one (diffed around every scatter fetch call)
+        self.shard_cache_hits = 0
+        self.shard_cache_misses = 0
+        #: online key-range migrations: completed runs, rows they moved,
+        #: and runs abandoned because the source epoch kept moving
+        self.rebalances = 0
+        self.rebalance_rows_moved = 0
+        self.rebalance_aborts = 0
         self.latency = LatencyRecorder()
 
     def observe_merge(self, size: int) -> None:
@@ -133,6 +144,11 @@ class RouterMetrics:
             "snapshot_retries": self.snapshot_retries,
             "mixed_epoch_aborts": self.mixed_epoch_aborts,
             "write_batches": self.write_batches,
+            "shard_cache_hits": self.shard_cache_hits,
+            "shard_cache_misses": self.shard_cache_misses,
+            "rebalances": self.rebalances,
+            "rebalance_rows_moved": self.rebalance_rows_moved,
+            "rebalance_aborts": self.rebalance_aborts,
             "shard_latency": self.latency.snapshot(),
         }
 
@@ -394,6 +410,11 @@ class ShardRouter:
                 f"but {len(shards)} were given"
             )
         self.shards = list(shards)
+        # Every router routes through an overlay so online rebalancing is
+        # always available: the overlay is a transparent passthrough until
+        # the first override lands.
+        if not isinstance(partitioner, PartitionOverlay):
+            partitioner = PartitionOverlay(partitioner)
         self.partitioner = partitioner
         self.access_schema = access_schema
         self.plan_cache = plan_store if plan_store is not None else PlanStore(plan_cache_size)
@@ -408,6 +429,12 @@ class ShardRouter:
         self.fallback_breaker = fallback_breaker
         self.write_observer = write_observer
         self.metrics = RouterMetrics()
+        # Replica sets adopt the router's latency recorder: hedged-read
+        # routing inside a set and the per-replica histograms in ``stats()``
+        # then read the same samples (one source of truth).
+        for shard in self.shards:
+            if isinstance(shard, ReplicaSet):
+                shard.latency = self.metrics.latency
         self._executor = FederatedExecutor(self)
         # Repair re-runs dirty fetch kernels through the federated executor
         # itself (row-mode by construction), so patched partials are merged
@@ -586,6 +613,7 @@ class ShardRouter:
         for shard, shard_keys in groups:
             if not shard_keys:
                 continue
+            hits_before, misses_before = shard.cache_counters()
             started = time.perf_counter()
             partial = shard.fetch(
                 constraint, base_relation, shard_keys, counter, predicate
@@ -593,6 +621,9 @@ class ShardRouter:
             self.metrics.latency.observe(
                 f"shard:{shard.name}", time.perf_counter() - started
             )
+            hits_after, misses_after = shard.cache_counters()
+            self.metrics.shard_cache_hits += hits_after - hits_before
+            self.metrics.shard_cache_misses += misses_after - misses_before
             self.metrics.shard_fetches += 1
             shipped += len(partial)
             merged.update(partial)
@@ -807,6 +838,23 @@ class ShardRouter:
                 rows_removed=outcome.rows_removed,
             )
 
+    # -- rebalancing ----------------------------------------------------------------
+    def rebalance(
+        self, relation: str, key_range: tuple, src: int, dst: int
+    ) -> RebalanceReport:
+        """Migrate ``relation``'s partition keys in ``[lo, hi)`` from shard
+        ``src`` to shard ``dst``, under traffic.
+
+        Epoch-guarded like a routed batch: copy the range to the
+        destination, re-validate the source epoch (a racing write undoes
+        the copy and retries), flip the partition overlay, drop the source
+        copies.  Reads are correct at every intermediate state — see
+        :mod:`repro.sharding.rebalance` for the argument.  Raises
+        :class:`~repro.core.errors.TransientFault` if the source epoch
+        keeps moving (never leaves a torn layout behind).
+        """
+        return rebalance_key_range(self, relation, key_range, src, dst)
+
     @staticmethod
     def _merge_report(merged, report) -> None:
         merged.applied += report.applied
@@ -825,14 +873,62 @@ class ShardRouter:
             "executor": self._executor.stats(),
         }
 
+    def replication_stats(self) -> dict:
+        """Replica/failover counters summed over the topology's replica sets.
+
+        Plain (unreplicated) shards contribute zeros; the soak report and
+        the bench trajectory read this one aggregate instead of re-deriving
+        it from per-shard detail.
+        """
+        sets = [s for s in self.shards if isinstance(s, ReplicaSet)]
+        return {
+            "replica_sets": len(sets),
+            "replicas": sum(len(s.replicas) for s in sets),
+            "quarantined": sum(
+                1
+                for s in sets
+                for replica in s.replicas
+                if s.health(replica.name).quarantined
+            ),
+            "failovers": sum(s.failovers for s in sets),
+            "hedged_reads": sum(s.hedged_reads for s in sets),
+            "quarantines": sum(s.quarantines for s in sets),
+            "catch_ups": sum(s.catch_ups for s in sets),
+            "rows_resynced": sum(s.rows_resynced for s in sets),
+        }
+
     def stats(self) -> dict:
         """Topology, scatter/gather metrics, and cache statistics, JSON-ready."""
+        partitioner = self.partitioner
+        base_name = (
+            type(partitioner.base).__name__
+            if isinstance(partitioner, PartitionOverlay)
+            else type(partitioner).__name__
+        )
         return {
             "shards": [shard.stats() for shard in self.shards],
-            "partitioner": type(self.partitioner).__name__,
+            "partitioner": base_name,
+            "partition_overrides": getattr(partitioner, "override_count", 0),
+            "replication": self.replication_stats(),
             "scatter_gather": self.metrics.snapshot(),
             "caches": self.cache_stats(),
         }
+
+
+def _clone_fragment(fragment: Database) -> Database:
+    """An identical copy of ``fragment`` — same rows, same clock history.
+
+    Replicas must start in lockstep: the clone performs exactly the bump
+    pattern :meth:`~repro.sharding.partition.Partitioner.partition` used to
+    build the fragment (one ``insert_many`` per non-empty relation, in
+    schema order), so member clocks agree and the replica set's lockstep
+    validation holds from the first fetch.
+    """
+    copy = Database(fragment.schema)
+    for relation in fragment:
+        if len(relation):
+            copy.insert_many(relation.schema.name, relation.rows)
+    return copy
 
 
 def build_topology(
@@ -840,12 +936,16 @@ def build_topology(
     access_schema: AccessSchema,
     *,
     shards: int = 2,
+    replicas: int = 1,
     backends: Sequence[str] | str | None = None,
     partitioner: Partitioner | None = None,
     partition_keys=None,
     plan_store: PlanStore | None = None,
     result_cache_size: int = 256,
     delta_repair: bool = True,
+    failure_threshold: int = 3,
+    probe_after: int = 8,
+    hedge_threshold: float | None = None,
     fallback_breaker: object | None = None,
     write_observer: Callable[[list], None] | None = None,
 ) -> ShardRouter:
@@ -854,10 +954,14 @@ def build_topology(
     ``backends`` names each shard's substrate (``"memory"`` or ``"sqlite"``),
     either per-shard or as one string for all; the default alternates
     ``memory, sqlite, memory, …`` so that any multi-shard topology exercises
-    one federated plan across *both* backends.  All shards (and the router)
-    share one :class:`~repro.core.planstore.PlanStore` — each query is
-    prepared once federation-wide.  ``database`` itself is left untouched;
-    the shards own disjoint fragment copies.
+    one federated plan across *both* backends.  With ``replicas > 1`` each
+    logical shard becomes a :class:`~repro.sharding.replica.ReplicaSet` of
+    that many members holding identical fragment copies; member substrates
+    alternate within the set too, so a federated fetch can fail over from a
+    memory member to its SQLite sibling.  All engine shards (and the
+    router) share one :class:`~repro.core.planstore.PlanStore` — each query
+    is prepared once federation-wide.  ``database`` itself is left
+    untouched; the shards own disjoint fragment copies.
     """
     if partitioner is None:
         partitioner = HashPartitioner(database.schema, shards, partition_keys)
@@ -866,6 +970,8 @@ def build_topology(
             f"partitioner is configured for {partitioner.shard_count} shards, "
             f"but shards={shards} was requested"
         )
+    if replicas < 1:
+        raise StorageError(f"replicas must be >= 1, got {replicas}")
     if backends is None:
         kinds = ["memory" if i % 2 == 0 else "sqlite" for i in range(shards)]
     elif isinstance(backends, str):
@@ -877,18 +983,40 @@ def build_topology(
                 f"{shards} shards need {shards} backend kinds, got {len(kinds)}"
             )
     store = plan_store if plan_store is not None else PlanStore(128)
+
+    def _make(kind: str, name: str, fragment: Database) -> Shard:
+        if kind == "memory":
+            return EngineShard(name, fragment, access_schema, plan_store=store)
+        if kind == "sqlite":
+            return SQLiteShard(name, fragment, access_schema)
+        raise StorageError(
+            f"unknown shard backend {kind!r}; expected 'memory' or 'sqlite'"
+        )
+
     fragments = partitioner.partition(database)
     built: list[Shard] = []
     for index, (kind, fragment) in enumerate(zip(kinds, fragments)):
-        name = f"shard{index}-{kind}"
-        if kind == "memory":
-            built.append(EngineShard(name, fragment, access_schema, plan_store=store))
-        elif kind == "sqlite":
-            built.append(SQLiteShard(name, fragment, access_schema))
-        else:
-            raise StorageError(
-                f"unknown shard backend {kind!r}; expected 'memory' or 'sqlite'"
+        if replicas == 1:
+            built.append(_make(kind, f"shard{index}-{kind}", fragment))
+            continue
+        members: list[Shard] = []
+        for j in range(replicas):
+            member_kind = (
+                kind if j % 2 == 0 else ("sqlite" if kind == "memory" else "memory")
             )
+            member_fragment = fragment if j == 0 else _clone_fragment(fragment)
+            members.append(
+                _make(member_kind, f"shard{index}r{j}-{member_kind}", member_fragment)
+            )
+        built.append(
+            ReplicaSet(
+                f"shard{index}",
+                members,
+                failure_threshold=failure_threshold,
+                probe_after=probe_after,
+                hedge_threshold=hedge_threshold,
+            )
+        )
     return ShardRouter(
         built,
         partitioner,

@@ -33,8 +33,8 @@ from typing import Callable, Iterable, Sequence
 from ..backends.sqlite import SQLiteBackend
 from ..core.access import AccessConstraint, AccessSchema
 from ..core.engine import BoundedEngine
-from ..core.errors import StorageError
-from ..core.planstore import PlanStore
+from ..core.errors import MaintenanceError, StorageError
+from ..core.planstore import PlanStore, ResultCache
 from ..discovery.maintenance import MaintenanceReport, Update
 from ..storage.counters import AccessCounter
 from ..storage.database import Database
@@ -88,6 +88,10 @@ class Shard:
         return self.database.clock.validate(relations, snapshot)
 
     # -- reporting ---------------------------------------------------------------
+    def cache_counters(self) -> tuple[int, int]:
+        """``(hits, misses)`` of this shard's fetch-partial cache (0 if none)."""
+        return (0, 0)
+
     def stats(self) -> dict[str, object]:
         return {
             "name": self.name,
@@ -98,7 +102,20 @@ class Shard:
 
 
 class EngineShard(Shard):
-    """An in-memory shard: fetches via ``ConstraintIndex``, writes via the engine."""
+    """An in-memory shard: fetches via ``ConstraintIndex``, writes via the engine.
+
+    Each engine shard keeps a small :class:`~repro.core.planstore.
+    ResultCache` of *fetch partials* — the ``(constraint, key-set)`` →
+    row-set pairs its index lookups produce — stamped with the shard's
+    per-relation clock version and swept by routed writes.  The router's
+    result cache serves whole federated results; this one serves the
+    scatter's building blocks, so two different queries sharing a fetch
+    step (or one query re-executed after an unrelated relation changed)
+    skip the index walk.  Hits replay the exact access accounting of the
+    lookups they stand in for (the bound is about tuples *touched*, and a
+    cached partial stands for the same touched tuples), so ``P(D_Q)``
+    reporting is identical with or without the cache.
+    """
 
     kind = "memory"
 
@@ -109,6 +126,7 @@ class EngineShard(Shard):
         access_schema: AccessSchema,
         *,
         plan_store: PlanStore | None = None,
+        fetch_cache_size: int = 128,
     ):
         super().__init__(name, database)
         self.engine = BoundedEngine(
@@ -116,10 +134,15 @@ class EngineShard(Shard):
             access_schema,
             check_constraints=False,
             plan_store=plan_store,
-            # The router keeps the (cross-shard) result cache; per-shard
-            # result caches would only hold partials no one asks for twice.
+            # The router keeps the (cross-shard) result cache; the shard-local
+            # cache below holds fetch *partials*, not query results.
             result_cache_size=0,
         )
+        self.fetch_cache = ResultCache(fetch_cache_size)
+        #: per-entry ``(index_probes, tuples_fetched)`` so cache hits replay
+        #: the miss path's accounting exactly (fetched ≥ |rows|: a tuple
+        #: reached through two keys is counted per lookup)
+        self._fetch_costs: dict = {}
 
     def fetch(
         self,
@@ -129,6 +152,20 @@ class EngineShard(Shard):
         counter: AccessCounter | None = None,
         predicate: Callable[[Row], bool] | None = None,
     ) -> frozenset[Row]:
+        keys = [tuple(key) for key in keys]
+        cache_key = None
+        if predicate is None and self.fetch_cache.capacity > 0:
+            # Predicated fetches bypass the cache: the pushed-down predicate
+            # is a compiled closure with no stable identity to key on.
+            cache_key = (constraint, base_relation, frozenset(keys))
+            stamp = self.database.clock.snapshot((base_relation,))
+            entry = self.fetch_cache.get(cache_key, stamp)
+            if entry is not None:
+                cost = self._fetch_costs.get(cache_key)
+                if cost is not None:
+                    if counter is not None:
+                        counter.record_fetch_many(base_relation, cost[0], cost[1])
+                    return entry.rows
         indexes = self.engine.indexes
         index = indexes.get(constraint)
         if index is None:
@@ -138,15 +175,49 @@ class EngineShard(Shard):
                 f"shard {self.name!r} has no index for constraint {constraint} "
                 f"(base relation {base_relation!r})"
             )
+        local = AccessCounter()
         rows: set[Row] = set()
         for key in keys:
-            rows.update(index.lookup(key, counter))
+            rows.update(index.lookup(key, local))
+        if counter is not None:
+            counter.merge(local)
+        frozen = frozenset(rows)
+        if cache_key is not None:
+            self.fetch_cache.put(
+                cache_key,
+                rows=frozen,
+                columns=(),
+                dependencies=(base_relation,),
+                snapshot=self.database.clock.snapshot((base_relation,)),
+            )
+            self._fetch_costs[cache_key] = (local.index_probes, local.fetched)
         if predicate is not None:
-            rows = set(filter(predicate, rows))
-        return frozenset(rows)
+            frozen = frozenset(filter(predicate, frozen))
+        return frozen
 
     def apply_updates(self, updates: Iterable[Update]) -> MaintenanceReport:
-        return self.engine.apply_updates(updates)
+        try:
+            report = self.engine.apply_updates(updates)
+        except MaintenanceError as error:
+            # A torn batch leaves shard state suspect: sweep every partial
+            # rather than reason about which prefix survived.
+            self.fetch_cache.invalidate(None)
+            self._fetch_costs.clear()
+            raise error
+        if report.touched_relations:
+            self.fetch_cache.invalidate(sorted(report.touched_relations))
+            self._prune_costs()
+        return report
+
+    def _prune_costs(self) -> None:
+        if len(self._fetch_costs) > 4 * self.fetch_cache.capacity:
+            live = self.fetch_cache._entries
+            self._fetch_costs = {
+                key: cost for key, cost in self._fetch_costs.items() if key in live
+            }
+
+    def cache_counters(self) -> tuple[int, int]:
+        return (self.fetch_cache.hits, self.fetch_cache.misses)
 
 
 class SQLiteShard(Shard):

@@ -556,3 +556,63 @@ class TestSelectPushdown:
         assert metrics["select_pushdowns"] > 0
         assert metrics["pushdown_rows_filtered"] > 0
         assert "executor" in router.cache_stats()
+
+
+class TestShardFetchCache:
+    """Per-shard fetch-partial caches: hits replay exact accounting and are
+    swept by routed writes (satellite of the self-healing federation PR)."""
+
+    def test_repeat_scatter_hits_with_identical_accounting(self):
+        # Router result cache off, so the second execution re-scatters and
+        # must be served from the shard-local fetch-partial caches.
+        router, database = mirrored_topology(
+            shards=2, backends="memory", result_cache_size=0
+        )
+        query = facebook.query_q1()
+        first = router.execute(query)
+        assert router.metrics.shard_cache_hits == 0
+        misses = router.metrics.shard_cache_misses
+        assert misses > 0
+        second = router.execute(query)
+        assert second.rows == first.rows == evaluate(query, database).rows
+        assert router.metrics.shard_cache_hits > 0
+        assert router.metrics.shard_cache_misses == misses
+        # The bound is about tuples *touched*: a cached partial stands for
+        # the same touched tuples, so P(D_Q) reporting is identical.
+        assert second.counter.fetched == first.counter.fetched
+        assert second.counter.index_probes == first.counter.index_probes
+
+    def test_routed_write_sweeps_dependent_partials(self):
+        router, database = mirrored_topology(
+            shards=2, backends="memory", result_cache_size=0
+        )
+        query = facebook.query_q1()
+        router.execute(query)
+        router.execute(query)
+        hits = router.metrics.shard_cache_hits
+        assert hits > 0
+        victim = sorted(database.relation("friend").rows)[0]
+        router.apply_updates([Update.delete("friend", victim)])
+        result = router.execute(query)
+        # The friend partials were swept (their relation changed), so the
+        # post-write read recomputes them and serves the new truth.
+        assert result.rows == evaluate(query, database).rows
+        assert router.metrics.shard_cache_misses > 0
+
+    def test_counters_surface_through_router_stats(self):
+        router, _ = mirrored_topology(
+            shards=2, backends="memory", result_cache_size=0
+        )
+        query = facebook.query_q1()
+        router.execute(query)
+        router.execute(query)
+        scatter = router.stats()["scatter_gather"]
+        assert scatter["shard_cache_hits"] == router.metrics.shard_cache_hits
+        assert scatter["shard_cache_misses"] == router.metrics.shard_cache_misses
+        hits = sum(shard.cache_counters()[0] for shard in router.shards)
+        assert hits == router.metrics.shard_cache_hits
+
+    def test_sqlite_shards_report_zero_cache_traffic(self):
+        router, _ = mirrored_topology(shards=2, backends="sqlite")
+        router.execute(facebook.query_q1())
+        assert all(shard.cache_counters() == (0, 0) for shard in router.shards)
